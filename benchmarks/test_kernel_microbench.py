@@ -1,0 +1,59 @@
+"""Micro-benchmarks of the core kernels (real wall-clock timings).
+
+Unlike the figure benches (which replay the modelled pipeline once),
+these measure the actual throughput of this package's implementations:
+reordering analyses, CSR relabelling, the graph kernels and the cache
+simulator.  They are what ``pytest-benchmark``'s statistics are for.
+"""
+
+import pytest
+
+from repro.apps import PageRank
+from repro.cachesim import simulate_trace
+from repro.graph.generators import load_dataset
+from repro.reorder import make_technique
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("sd")
+
+
+@pytest.mark.parametrize(
+    "technique", ["Sort", "HubSort", "HubCluster", "DBG", "RandomVertex"]
+)
+def test_mapping_throughput(benchmark, graph, technique):
+    """Time to compute a reordering mapping (analysis phase only)."""
+    tech = make_technique(technique, degree_kind="out")
+    mapping = benchmark(tech.compute_mapping, graph)
+    assert mapping.size == graph.num_vertices
+
+
+def test_relabel_throughput(benchmark, graph):
+    """Time to regenerate the CSR — the dominant reordering cost."""
+    mapping = make_technique("DBG", degree_kind="out").compute_mapping(graph)
+    relabelled = benchmark(graph.relabel, mapping)
+    assert relabelled.num_edges == graph.num_edges
+
+
+def test_pagerank_iteration_throughput(benchmark, graph):
+    """One full PageRank run on the sd analog."""
+    app = PageRank(max_iterations=5, tolerance=0)
+    result = benchmark.pedantic(app.run, args=(graph,), rounds=3, iterations=1)
+    assert result["iterations"] == 5
+
+
+def test_trace_generation_throughput(benchmark, graph):
+    """Building the representative super-step trace."""
+    app = PageRank()
+    plan = app.plan(graph)
+    app_trace = benchmark.pedantic(app.trace, args=(graph, plan), rounds=3, iterations=1)
+    assert len(app_trace.trace) > 0
+
+
+def test_cache_simulation_throughput(benchmark, graph):
+    """Running the trace through the three-level hierarchy."""
+    app = PageRank()
+    trace = app.trace(graph, app.plan(graph)).trace
+    stats = benchmark.pedantic(simulate_trace, args=(trace,), rounds=3, iterations=1)
+    assert stats.accesses == trace.total_accesses

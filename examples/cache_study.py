@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""A Fig. 8-style cache study on your own workload.
+
+Shows how to use the cache-simulation pipeline directly — the same
+machinery behind the paper's MPKI figures — to answer "what would
+reordering do to *my* graph on *my* cache hierarchy?".  Sweeps the
+hierarchy size as well, reproducing in miniature the regime boundaries
+the paper describes: reordering matters most while the hot set fits only
+if packed.
+
+Run:  python examples/cache_study.py
+"""
+
+from repro.apps import PageRank
+from repro.cachesim import CacheGeometry, HierarchyConfig, simulate_trace
+from repro.graph.generators import community_graph
+from repro.perfmodel import speedup_pct, superstep_cycles
+from repro.reorder import DBG
+
+
+def study(graph, hierarchy, label):
+    app = PageRank()
+    plan = app.plan(graph)
+
+    base_trace = app.trace(graph, plan)
+    base_stats = simulate_trace(base_trace.trace, hierarchy)
+    base_cycles = superstep_cycles(base_trace, base_stats)
+
+    result = DBG(degree_kind="out").apply(graph)
+    dbg_trace = app.trace(result.graph, plan.remap(result.mapping))
+    dbg_stats = simulate_trace(dbg_trace.trace, hierarchy)
+    dbg_cycles = superstep_cycles(dbg_trace, dbg_stats)
+
+    base_mpki = base_stats.mpki(base_trace.instructions)
+    dbg_mpki = dbg_stats.mpki(dbg_trace.instructions)
+    print(f"{label:14s} "
+          f"L1 {base_mpki['l1']:6.1f} -> {dbg_mpki['l1']:6.1f}   "
+          f"L2 {base_mpki['l2']:6.1f} -> {dbg_mpki['l2']:6.1f}   "
+          f"L3 {base_mpki['l3']:6.1f} -> {dbg_mpki['l3']:6.1f}   "
+          f"speed-up {speedup_pct(base_cycles, dbg_cycles):+6.1f}%")
+
+
+def main() -> None:
+    graph = community_graph(
+        16_000, avg_degree=16.0, exponent=1.7, intra_fraction=0.5,
+        hub_grouping=0.2, seed=13,
+    )
+    print(f"Workload: PageRank on {graph.num_vertices:,} vertices / "
+          f"{graph.num_edges:,} edges")
+    print(f"{'hierarchy':14s} {'L1 MPKI':>17s}   {'L2 MPKI':>17s}   "
+          f"{'L3 MPKI':>17s}   {'DBG effect':>10s}")
+
+    for factor, label in ((1, "tiny (1x)"), (4, "medium (4x)"), (16, "large (16x)")):
+        hierarchy = HierarchyConfig(
+            l1=CacheGeometry(512 * factor, 2),
+            l2=CacheGeometry(2048 * factor, 4),
+            l3=CacheGeometry(8192 * factor, 8),
+        )
+        study(graph, hierarchy, label)
+
+    print("\n(Each cell: original -> DBG.  The sweet spot is where the "
+          "packed hot set fits a level the unpacked one misses.)")
+
+
+if __name__ == "__main__":
+    main()

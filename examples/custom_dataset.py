@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Using the library on your own graph (edge-list file workflow).
+
+Everything in ``repro`` works on plain edge lists, not just the built-in
+dataset analogs.  This example writes a small synthetic edge list to disk
+the way an external tool might produce it, loads it back, decides whether
+reordering is worthwhile (skew check), applies DBG, and saves the
+reordered graph plus the old→new ID mapping for downstream use.
+
+Run:  python examples/custom_dataset.py [path/to/edges.txt]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph.generators import chung_lu_graph, powerlaw_degree_sequence
+from repro.graph.io import load_edge_list, save_edge_list, save_npz
+from repro.graph.properties import skew_summary
+from repro.reorder import DBG
+
+
+def make_demo_file(path: Path) -> None:
+    """Write a power-law edge list as an external tool would."""
+    degrees = powerlaw_degree_sequence(
+        5000, 12.0, exponent=1.8, rng=np.random.default_rng(7)
+    )
+    graph = chung_lu_graph(degrees, seed=7, shuffle_ids=True)
+    save_edge_list(graph, path)
+    print(f"Wrote demo edge list to {path}")
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        path = Path(sys.argv[1])
+    else:
+        path = Path(tempfile.gettempdir()) / "repro_demo_edges.txt"
+        make_demo_file(path)
+
+    graph = load_edge_list(path)
+    print(f"Loaded {graph.num_vertices:,} vertices / {graph.num_edges:,} edges")
+
+    skew = skew_summary(graph)
+    print(f"Skew check: {skew.hot_vertex_pct_out:.1f}% hot vertices own "
+          f"{skew.edge_coverage_pct_out:.1f}% of edges")
+    if skew.edge_coverage_pct_out < 50:
+        print("Low skew: skew-aware reordering is unlikely to help "
+              "(paper Fig. 7). Stopping.")
+        return
+
+    result = DBG(degree_kind="out").apply(graph)
+    print(f"DBG reordering took {result.total_seconds * 1e3:.1f} ms "
+          f"({result.analysis_seconds * 1e3:.1f} ms analysis)")
+
+    out_graph = path.with_suffix(".dbg.npz")
+    out_mapping = path.with_suffix(".dbg.mapping.npy")
+    save_npz(result.graph, out_graph)
+    np.save(out_mapping, result.mapping)
+    print(f"Saved reordered graph to {out_graph}")
+    print(f"Saved old->new vertex mapping to {out_mapping}")
+    print("Remember: traversal roots and any per-vertex data must be "
+          "remapped through the mapping (paper Section V-A).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Reordering an evolving graph (the paper's Section VIII-B, runnable).
+
+A social-network-like graph keeps growing by preferential attachment while
+PageRank queries arrive between update batches.  Four operational policies
+compete:
+
+* never reorder,
+* reorder once up front,
+* re-reorder every other epoch,
+* re-reorder only when the hot set has drifted.
+
+The punchline the paper predicts: reordering amortizes beautifully across
+the query stream, and because churn barely changes *which* vertices are
+hot, re-reordering is almost never needed — the drift policy figures this
+out on its own.
+
+Run:  python examples/evolving_graph.py
+"""
+
+import numpy as np
+
+from repro.dynamic import (
+    DriftTriggered,
+    NeverReorder,
+    PeriodicReorder,
+    ReorderOnce,
+    hot_set_overlap,
+    simulate_workload,
+)
+from repro.dynamic.store import DynamicGraph
+from repro.dynamic.stream import update_stream
+from repro.graph.generators import community_graph
+
+
+def main() -> None:
+    graph = community_graph(
+        8000, avg_degree=14.0, exponent=1.7, intra_fraction=0.6,
+        hub_grouping=0.3, seed=9,
+    )
+    src, dst = graph.edge_array()
+    edges = np.stack([src, dst], axis=1)
+    print(f"Initial graph: {graph.num_vertices:,} vertices, "
+          f"{graph.num_edges:,} edges")
+
+    # First, watch how little the hot set moves under heavy churn.
+    store = DynamicGraph(graph.num_vertices, edges)
+    initial_degrees = store.degrees("out")
+    for i, batch in enumerate(update_stream(store, 5, 20_000, seed=1)):
+        store.apply(batch)
+        overlap = hot_set_overlap(initial_degrees, store.degrees("out"))
+        print(f"  after batch {i + 1}: {store.num_edges:,} edges, "
+              f"hot-set overlap with epoch 0: {overlap:.2f}")
+
+    print("\nRacing re-reordering policies over the same stream "
+          "(6 epochs x 4 PageRank queries):")
+    policies = [
+        NeverReorder(), ReorderOnce(), PeriodicReorder(2), DriftTriggered(0.85),
+    ]
+    results = simulate_workload(
+        edges, graph.num_vertices, policies,
+        num_epochs=6, batch_size=20_000, queries_per_epoch=4, seed=1,
+    )
+    never_total = next(r for r in results if r.policy == "never").total_cycles
+    print(f"{'policy':14s} {'total':>9s} {'queries':>9s} {'reorder':>8s} "
+          f"{'#reord':>6s} {'vs never':>9s}")
+    for r in results:
+        print(f"{r.policy:14s} {r.total_cycles / 1e6:8.0f}M "
+              f"{r.query_cycles / 1e6:8.0f}M {r.reorder_cycles / 1e6:7.1f}M "
+              f"{r.num_reorders:6d} {(never_total / r.total_cycles - 1) * 100:+8.1f}%")
+
+    print("\nNote how 'once' captures nearly all of the benefit: the hot "
+          "set is stable under churn, so the ordering stays good — exactly "
+          "the paper's Section VIII-B intuition.")
+
+
+if __name__ == "__main__":
+    main()

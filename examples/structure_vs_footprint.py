@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""The paper's central tension, demonstrated on one graph.
+
+Section III of the paper shows that skew-aware reordering trades two goods
+against each other:
+
+* **footprint** — packing hot vertices into few cache blocks, and
+* **structure** — keeping community neighbours at nearby vertex IDs.
+
+This example builds a strongly structured community graph (a LiveJournal
+stand-in), applies every technique, and prints where each lands on the
+two axes, plus the resulting Radii runtime from the full pipeline.  Sort
+maximizes packing and destroys structure; HubCluster does the opposite;
+DBG gets most of both — which is the whole point of the paper.
+
+Run:  python examples/structure_vs_footprint.py
+"""
+
+from repro.apps import Radii
+from repro.cachesim import simulate_trace
+from repro.graph.generators import community_graph
+from repro.graph.properties import hot_vertices_per_block, locality_score
+from repro.perfmodel import speedup_pct, superstep_cycles
+from repro.reorder import DBG, Gorder, HubCluster, HubSort, Original, Sort
+
+
+def main() -> None:
+    graph = community_graph(
+        8000,
+        avg_degree=14.0,
+        exponent=1.7,
+        intra_fraction=0.75,
+        hub_grouping=0.4,
+        seed=42,
+    )
+    print(f"Community graph: {graph.num_vertices:,} vertices, "
+          f"{graph.num_edges:,} edges")
+    print(f"{'technique':12s} {'hot/block':>9s} {'locality':>9s} "
+          f"{'L2 MPKI':>8s} {'L3 MPKI':>8s} {'speed-up':>9s}")
+
+    app = Radii(num_samples=32)
+    plan = app.plan(graph)
+    base_cycles = None
+    techniques = [Original(), Sort(), HubSort(), HubCluster(), DBG(), Gorder()]
+    for technique in techniques:
+        result = technique.apply(graph)
+        trace = app.trace(result.graph, plan.remap(result.mapping))
+        stats = simulate_trace(trace.trace)
+        cycles = superstep_cycles(trace, stats)
+        if base_cycles is None:
+            base_cycles = cycles
+        mpki = stats.mpki(trace.instructions)
+        print(
+            f"{technique.name:12s} "
+            f"{hot_vertices_per_block(result.graph):9.2f} "
+            f"{locality_score(result.graph, 64):9.3f} "
+            f"{mpki['l2']:8.1f} {mpki['l3']:8.1f} "
+            f"{speedup_pct(base_cycles, cycles):+8.1f}%"
+        )
+
+    print(
+        "\nReading the table: Sort packs hubs perfectly but floors locality "
+        "AND L2 MPKI rises — footprint bought at structure's expense. "
+        "HubCluster preserves locality but treats all hubs alike. DBG packs "
+        "as well as Sort yet keeps L2 MPKI at HubCluster's level (its coarse "
+        "stable groups preserve the structure the caches actually exploit), "
+        "which is why it wins end to end."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""repro — reproduction of *A Closer Look at Lightweight Graph Reordering*.
+
+(Faldu, Diamond & Grot, IISWC 2019.)
+
+The package is organized bottom-up:
+
+* :mod:`repro.graph` — CSR graphs, generators, skew/structure analytics;
+* :mod:`repro.reorder` — DBG (the paper's contribution) and every baseline
+  reordering technique;
+* :mod:`repro.framework` — a Ligra-like processing engine with memory-trace
+  emission;
+* :mod:`repro.apps` — the five evaluated applications;
+* :mod:`repro.cachesim` — the scaled cache-hierarchy simulator standing in
+  for hardware performance counters;
+* :mod:`repro.perfmodel` — cycle timing and reordering-cost models;
+* :mod:`repro.analysis` — one function per paper table/figure, plus the CLI.
+
+Quickstart::
+
+    from repro.graph.generators import load_dataset
+    from repro.reorder import DBG
+    from repro.apps import PageRank
+
+    graph = load_dataset("sd")
+    result = DBG(degree_kind="out").apply(graph)
+    ranks = PageRank().run(result.graph)["ranks"]
+"""
+
+from repro.graph import Graph, from_edges
+from repro.reorder import (
+    DBG,
+    Gorder,
+    HubCluster,
+    HubSort,
+    Original,
+    Sort,
+    make_technique,
+)
+from repro.apps import make_app
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "from_edges",
+    "DBG",
+    "Sort",
+    "HubSort",
+    "HubCluster",
+    "Gorder",
+    "Original",
+    "make_technique",
+    "make_app",
+    "__version__",
+]

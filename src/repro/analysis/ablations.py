@@ -1,0 +1,357 @@
+"""Ablation studies on the design choices DESIGN.md calls out.
+
+The paper fixes several knobs by argument rather than measurement: 8
+geometric DBG groups, the average degree as the hot threshold, and one
+cache hierarchy.  These studies sweep each knob through the full pipeline:
+
+* :func:`dbg_group_sweep` — the coarse-vs-fine tension curve.  One group
+  per side degenerates toward HubCluster; many narrow groups approach
+  HubSort; the paper's 8 sit on the plateau.
+* :func:`dbg_threshold_sweep` — scaling the group boundaries (and hence
+  the hot classification) up or down.
+* :func:`cache_scale_sweep` — growing the simulated hierarchy until hot
+  vertices fit, which must erode the benefit of any skew-aware technique
+  (the paper's lj observation, generalized).
+* :func:`extended_techniques` — the related-work traversal orderings
+  (BFS, DFS, RCM) and the Gorder+DBG composition next to the paper's set.
+* :func:`extension_apps` — reordering effects on CC and KCore, beyond the
+  paper's five applications.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import (
+    ExperimentConfig,
+    ExperimentRunner,
+    geomean_speedup,
+)
+from repro.graph.generators import SKEWED_DATASETS, STRUCTURED_DATASETS
+
+__all__ = [
+    "slicing_comparison",
+    "dbg_group_sweep",
+    "dbg_threshold_sweep",
+    "cache_scale_sweep",
+    "replacement_policy_sweep",
+    "degree_kind_sweep",
+    "gorder_window_sweep",
+    "extended_techniques",
+    "extension_apps",
+]
+
+
+def slicing_comparison(
+    runner: ExperimentRunner | None = None,
+    datasets: tuple[str, ...] = ("kr", "sd", "fr"),
+) -> dict:
+    """Section VII: graph slicing vs lightweight reordering (PR).
+
+    Slicing processes LLC-sized source partitions one pass at a time: its
+    locality is unbeatable (watch the L3 MPKI column) but the pass overhead
+    grows with the graph : LLC ratio — the paper's stated reason to prefer
+    a preprocessing-only technique like DBG.
+    """
+    from repro.apps import PageRank
+    from repro.cachesim import simulate_trace
+    from repro.framework.slicing import num_slices_for, sliced_pull_trace
+    from repro.perfmodel.timing import superstep_cycles
+
+    runner = runner or ExperimentRunner()
+    app = PageRank()
+    rows = []
+    for dataset in datasets:
+        base = runner.cell("PR", dataset, "Original")
+        dbg = runner.cell("PR", dataset, "DBG")
+        graph = runner.graph(dataset)
+        slices = num_slices_for(
+            graph,
+            runner.config.hierarchy.l3.size_bytes,
+            app.irregular_property_bytes,
+        )
+        trace = sliced_pull_trace(
+            graph, slices, property_bytes=app.irregular_property_bytes
+        )
+        stats = simulate_trace(trace.trace, runner.config.hierarchy)
+        sliced_cycles = superstep_cycles(trace, stats, runner.config.latencies)
+        rows.append(
+            [
+                dataset,
+                slices,
+                round(base.mpki["l3"], 1),
+                round(dbg.mpki["l3"], 1),
+                round(stats.mpki(trace.instructions)["l3"], 1),
+                round(runner.speedup("PR", dataset, "DBG"), 1),
+                round((base.superstep_cycles / sliced_cycles - 1.0) * 100.0, 1),
+            ]
+        )
+    return {
+        "title": "Sec. VII: graph slicing vs DBG (PR, per-iteration)",
+        "headers": [
+            "dataset", "slices",
+            "L3 MPKI orig", "L3 MPKI DBG", "L3 MPKI sliced",
+            "DBG speedup%", "sliced speedup%",
+        ],
+        "rows": rows,
+        "notes": (
+            "Slicing wins the cache war but loses the overhead war at this "
+            "graph:LLC ratio — the regime the paper's Section VII warns about."
+        ),
+    }
+
+
+def dbg_group_sweep(
+    runner: ExperimentRunner | None = None,
+    group_counts: tuple[int, ...] = (1, 2, 4, 6, 9, 12),
+    app: str = "PR",
+) -> dict:
+    """Speed-up of DBG as a function of its hot-group count."""
+    runner = runner or ExperimentRunner()
+    rows = []
+    for dataset in SKEWED_DATASETS:
+        row = [dataset]
+        for count in group_counts:
+            label = "DBG" if count == 6 else f"DBG-g{count}"
+            row.append(round(runner.speedup(app, dataset, label), 1))
+        rows.append(row)
+    gmeans = ["GMean"]
+    for idx in range(len(group_counts)):
+        gmeans.append(round(geomean_speedup([row[idx + 1] for row in rows]), 1))
+    rows.append(gmeans)
+    return {
+        "title": f"Ablation: {app} speed-up (%) vs DBG hot-group count",
+        "headers": ["dataset"] + [f"{c} groups" for c in group_counts],
+        "rows": rows,
+        "notes": (
+            "Expected: a plateau around the paper's choice (6 hot groups + "
+            "2 cold); very few groups forfeit hottest-vertex packing, while "
+            "structured datasets punish very many groups."
+        ),
+    }
+
+
+def dbg_threshold_sweep(
+    runner: ExperimentRunner | None = None,
+    scales: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0, 4.0),
+    app: str = "PR",
+) -> dict:
+    """Speed-up of DBG as the group boundaries are scaled by a factor."""
+    runner = runner or ExperimentRunner()
+    rows = []
+    for dataset in SKEWED_DATASETS:
+        row = [dataset]
+        for scale in scales:
+            label = "DBG" if scale == 1.0 else f"DBG-t{scale}"
+            row.append(round(runner.speedup(app, dataset, label), 1))
+        rows.append(row)
+    gmeans = ["GMean"]
+    for idx in range(len(scales)):
+        gmeans.append(round(geomean_speedup([row[idx + 1] for row in rows]), 1))
+    rows.append(gmeans)
+    return {
+        "title": f"Ablation: {app} speed-up (%) vs DBG boundary scale",
+        "headers": ["dataset"] + [f"x{s}" for s in scales],
+        "rows": rows,
+        "notes": "The paper's threshold (x1.0, i.e. the average degree) should sit near the top.",
+    }
+
+
+def cache_scale_sweep(
+    base_runner: ExperimentRunner | None = None,
+    factors: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+    app: str = "PR",
+    datasets: tuple[str, ...] = ("sd", "fr"),
+) -> dict:
+    """DBG's benefit as the whole hierarchy grows.
+
+    Non-monotonic by nature: mid-size caches are where packing matters
+    most (the hot set fits *only if packed*); once the LLC holds the hot
+    set even unpacked, the skew opportunity disappears — the paper
+    observes the collapsed end of this curve on its small datasets
+    (lj, wl).
+    """
+    base_runner = base_runner or ExperimentRunner()
+    base_config = base_runner.config
+    rows = []
+    for dataset in datasets:
+        row = [dataset]
+        for factor in factors:
+            if factor == 1:
+                runner = base_runner
+            else:
+                config = ExperimentConfig(
+                    scale=base_config.scale,
+                    hierarchy=base_config.hierarchy.scaled(factor),
+                    num_roots=base_config.num_roots,
+                )
+                runner = ExperimentRunner(config, cache=base_runner.cache)
+            row.append(round(runner.speedup(app, dataset, "DBG"), 1))
+        rows.append(row)
+    return {
+        "title": f"Ablation: DBG {app} speed-up (%) vs cache-hierarchy scale",
+        "headers": ["dataset"] + [f"x{f} caches" for f in factors],
+        "rows": rows,
+        "notes": (
+            "Rises while packing decides whether the hot set fits, then "
+            "collapses once it fits even unpacked (the paper's lj/wl regime)."
+        ),
+    }
+
+
+def replacement_policy_sweep(
+    base_runner: ExperimentRunner | None = None,
+    policies: tuple[str, ...] = ("lru", "fifo", "lip"),
+    app: str = "PR",
+    datasets: tuple[str, ...] = ("sd", "fr", "kr"),
+) -> dict:
+    """DBG's benefit under different cache replacement policies.
+
+    The paper's related work points at hardware cache-management schemes as
+    orthogonal to reordering; this sweep checks the claim's premise — that
+    the reordering benefit is not an artifact of LRU specifically.
+    """
+    import dataclasses
+
+    base_runner = base_runner or ExperimentRunner()
+    base_config = base_runner.config
+    rows = []
+    for dataset in datasets:
+        row = [dataset]
+        for policy in policies:
+            if policy == base_config.hierarchy.replacement:
+                runner = base_runner
+            else:
+                hierarchy = dataclasses.replace(
+                    base_config.hierarchy, replacement=policy
+                )
+                config = ExperimentConfig(
+                    scale=base_config.scale,
+                    hierarchy=hierarchy,
+                    num_roots=base_config.num_roots,
+                )
+                runner = ExperimentRunner(config, cache=base_runner.cache)
+            row.append(round(runner.speedup(app, dataset, "DBG"), 1))
+        rows.append(row)
+    return {
+        "title": f"Ablation: DBG {app} speed-up (%) vs cache replacement policy",
+        "headers": ["dataset"] + list(policies),
+        "rows": rows,
+        "notes": "The skew-packing benefit must survive any reasonable policy.",
+    }
+
+
+def gorder_window_sweep(
+    runner: ExperimentRunner | None = None,
+    windows: tuple[int, ...] = (2, 5, 10),
+    app: str = "PR",
+    datasets: tuple[str, ...] = ("pl", "wl"),
+) -> dict:
+    """Gorder's one tuning knob: the placement window.
+
+    Wei et al. default to w=5; a tiny window under-exploits sibling
+    locality and a large one dilutes it.  Swept on the two smallest
+    skewed analogs (Gorder's analysis cost is the practical limit).
+    """
+    runner = runner or ExperimentRunner()
+    rows = []
+    for dataset in datasets:
+        row = [dataset]
+        for window in windows:
+            label = "Gorder" if window == 5 else f"Gorder-w{window}"
+            row.append(round(runner.speedup(app, dataset, label), 1))
+        rows.append(row)
+    return {
+        "title": f"Ablation: {app} speed-up (%) vs Gorder window size",
+        "headers": ["dataset"] + [f"w={w}" for w in windows],
+        "rows": rows,
+        "notes": "Wei et al.'s default (w=5) should be competitive across datasets.",
+    }
+
+
+def extended_techniques(
+    runner: ExperimentRunner | None = None,
+    app: str = "PR",
+    techniques: tuple[str, ...] = ("DBG", "BFS", "DFS", "RCM", "Community", "Gorder", "Gorder+DBG"),
+) -> dict:
+    """Related-work orderings beside the paper's winner."""
+    runner = runner or ExperimentRunner()
+    rows = []
+    for dataset in SKEWED_DATASETS:
+        row = [dataset]
+        for technique in techniques:
+            row.append(round(runner.speedup(app, dataset, technique), 1))
+        rows.append(row)
+    gmeans = ["GMean"]
+    for idx in range(len(techniques)):
+        gmeans.append(round(geomean_speedup([row[idx + 1] for row in rows]), 1))
+    rows.append(gmeans)
+    return {
+        "title": f"Extended comparison: {app} speed-up (%), traversal orderings vs DBG",
+        "headers": ["dataset"] + list(techniques),
+        "rows": rows,
+        "notes": (
+            "BFS/DFS/RCM are structure-only: they rebuild locality but never "
+            "pack hot vertices, so skewed datasets favour DBG."
+        ),
+    }
+
+
+def degree_kind_sweep(
+    runner: ExperimentRunner | None = None,
+    app: str = "PR",
+    kinds: tuple[str, ...] = ("out", "in", "both"),
+) -> dict:
+    """Which degrees should drive the reordering?
+
+    The paper reorders by out-degree for pull-dominated apps and by
+    in-degree for push-dominated ones (Table VIII) because that is the
+    degree that predicts the *reuse* of the irregularly-accessed property.
+    This sweep re-runs DBG with each choice.
+    """
+    runner = runner or ExperimentRunner()
+    rows = []
+    for dataset in SKEWED_DATASETS:
+        row = [dataset]
+        for kind in kinds:
+            row.append(round(runner.speedup(app, dataset, f"DBG@{kind}"), 1))
+        rows.append(row)
+    gmeans = ["GMean"]
+    for idx in range(len(kinds)):
+        gmeans.append(round(geomean_speedup([row[idx + 1] for row in rows]), 1))
+    rows.append(gmeans)
+    default_kind = {"PR": "out", "Radii": "out", "BC": "out"}.get(app, "in")
+    return {
+        "title": f"Ablation: {app} speed-up (%) vs DBG reordering degree kind",
+        "headers": ["dataset"] + list(kinds),
+        "rows": rows,
+        "notes": f"Paper Table VIII uses '{default_kind}' for {app}.",
+    }
+
+
+def extension_apps(
+    runner: ExperimentRunner | None = None,
+    apps: tuple[str, ...] = ("CC", "KCore"),
+    techniques: tuple[str, ...] = ("Sort", "HubCluster", "DBG"),
+) -> dict:
+    """Reordering effects on workloads beyond the paper's suite."""
+    runner = runner or ExperimentRunner()
+    rows = []
+    per_tech: dict[str, list[float]] = {t: [] for t in techniques}
+    for app in apps:
+        for dataset in SKEWED_DATASETS:
+            row = [app, dataset]
+            for technique in techniques:
+                s = runner.speedup(app, dataset, technique)
+                per_tech[technique].append(s)
+                row.append(round(s, 1))
+            rows.append(row)
+    rows.append(
+        ["GMean", "all"]
+        + [round(geomean_speedup(per_tech[t]), 1) for t in techniques]
+    )
+    return {
+        "title": "Extension apps: speed-up (%) on CC and KCore",
+        "headers": ["app", "dataset"] + list(techniques),
+        "rows": rows,
+        "notes": "The skew argument is application-agnostic: any kernel with "
+        "degree-proportional reuse benefits.",
+    }

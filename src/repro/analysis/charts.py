@@ -1,0 +1,88 @@
+"""ASCII bar charts for figure results (terminal-friendly plots).
+
+The paper's figures are grouped bar charts; ``bar_chart`` renders any
+tables/figures result dict the same way, one row of bars per data row,
+negative values growing leftward from a zero axis.  Used by the CLI's
+``--chart`` flag.
+"""
+
+from __future__ import annotations
+
+__all__ = ["bar_chart", "render_chart"]
+
+#: Glyph per series, cycled.
+_GLYPHS = "█▓▒░▞▚"
+
+
+def _scaled(value: float, max_abs: float, half_width: int) -> int:
+    if max_abs <= 0:
+        return 0
+    return int(round(abs(value) / max_abs * half_width))
+
+
+def bar_chart(
+    result: dict,
+    label_columns: int = 1,
+    width: int = 48,
+) -> str:
+    """Render a result dict's numeric columns as horizontal grouped bars.
+
+    ``label_columns`` leading columns of each row are treated as labels;
+    every remaining numeric column becomes one bar series.  Non-numeric
+    cells (e.g. paper-reference dashes) are skipped.
+    """
+    headers = result["headers"]
+    rows = result["rows"]
+    series_names = headers[label_columns:]
+    numeric = [
+        [cell for cell in row[label_columns:]]
+        for row in rows
+    ]
+    values = [
+        abs(cell)
+        for row in numeric
+        for cell in row
+        if isinstance(cell, (int, float))
+    ]
+    max_abs = max(values, default=1.0)
+    half = width // 2
+
+    lines = [result["title"], ""]
+    legend = "  ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} {name}" for i, name in enumerate(series_names)
+    )
+    lines.append(legend)
+    lines.append("")
+    label_width = max(
+        (len(" ".join(str(c) for c in row[:label_columns])) for row in rows),
+        default=8,
+    )
+    for row in rows:
+        label = " ".join(str(c) for c in row[:label_columns])
+        lines.append(label)
+        for i, cell in enumerate(row[label_columns:]):
+            if not isinstance(cell, (int, float)):
+                continue
+            bar = _GLYPHS[i % len(_GLYPHS)] * _scaled(cell, max_abs, half)
+            if cell >= 0:
+                body = " " * half + "|" + bar
+            else:
+                body = " " * (half - len(bar)) + bar + "|"
+            lines.append(
+                f"  {series_names[i][:10]:>10s} {body} {cell:+.1f}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def render_chart(result: dict, label_columns: int | None = None) -> str:
+    """Charts a result, guessing how many leading columns are labels."""
+    if label_columns is None:
+        first = result["rows"][0] if result["rows"] else []
+        label_columns = 0
+        for cell in first:
+            if isinstance(cell, (int, float)):
+                break
+            label_columns += 1
+        label_columns = max(label_columns, 1)
+    return bar_chart(result, label_columns=label_columns)

@@ -1,0 +1,112 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Examples::
+
+    repro-experiments table1 table2
+    repro-experiments fig6 --scale 0.5
+    repro-experiments all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import ablations, figures, tables
+from repro.analysis.experiments import ExperimentConfig, ExperimentRunner
+from repro.analysis.charts import render_chart
+from repro.analysis.render import render_result
+
+__all__ = ["main"]
+
+EXPERIMENTS = {
+    "table1": tables.table1,
+    "table2": tables.table2,
+    "table3": tables.table3,
+    "table4": tables.table4,
+    "table5": tables.table5,
+    "table9_10": tables.table9_10,
+    "table11": tables.table11,
+    "table12": tables.table12,
+    "fig3": figures.fig3,
+    "fig5": figures.fig5,
+    "fig6": figures.fig6,
+    "fig7": figures.fig7,
+    "fig8": figures.fig8,
+    "fig9": figures.fig9,
+    "fig10": figures.fig10,
+    "fig11": figures.fig11,
+    "gorder_dbg": figures.gorder_dbg_composition,
+    "ablation_groups": ablations.dbg_group_sweep,
+    "ablation_threshold": ablations.dbg_threshold_sweep,
+    "ablation_cache_scale": ablations.cache_scale_sweep,
+    "ablation_replacement": ablations.replacement_policy_sweep,
+    "slicing": ablations.slicing_comparison,
+    "ablation_degree_kind": ablations.degree_kind_sweep,
+    "ablation_gorder_window": ablations.gorder_window_sweep,
+    "extended_techniques": ablations.extended_techniques,
+    "extension_apps": ablations.extension_apps,
+}
+
+#: Order in which ``all`` runs things: cheap characterization first.
+ALL_ORDER = [
+    "table9_10", "table1", "table2", "table3", "table4", "table5",
+    "fig3", "fig5", "table11", "fig8", "fig9", "fig6", "fig7",
+    "fig10", "fig11", "table12", "gorder_dbg",
+    "ablation_groups", "ablation_threshold", "ablation_cache_scale",
+    "ablation_replacement", "slicing", "ablation_degree_kind", "ablation_gorder_window",
+    "extended_techniques", "extension_apps",
+]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate tables/figures from 'A Closer Look at "
+        "Lightweight Graph Reordering' (IISWC 2019)."
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiment names ({', '.join(sorted(EXPERIMENTS))}) or 'all'",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0, help="dataset size multiplier"
+    )
+    parser.add_argument(
+        "--roots", type=int, default=2, help="roots per root-dependent cell"
+    )
+    parser.add_argument(
+        "--chart", action="store_true", help="render results as ASCII bar charts"
+    )
+    parser.add_argument(
+        "--output", type=str, default=None,
+        help="also write a markdown report of the selected experiments",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(args.experiments)
+    if names == ["all"]:
+        names = ALL_ORDER
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}")
+
+    config = ExperimentConfig(scale=args.scale, num_roots=args.roots)
+    runner = ExperimentRunner(config)
+    if args.output:
+        from repro.analysis.report import generate_report
+
+        path = generate_report(runner, EXPERIMENTS, names, args.output)
+        print(f"report written to {path}")
+    for name in names:
+        result = EXPERIMENTS[name](runner)
+        if args.chart:
+            print(render_chart(result))
+        else:
+            print(render_result(result))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""A small keyed pickle cache for expensive experiment artifacts.
+
+Gorder mappings and cache-simulation results take seconds to minutes to
+produce; the benchmark harness regenerates every figure, so results are
+memoized under ``.repro_cache/`` (override with ``REPRO_CACHE_DIR``).
+Bump ``CACHE_VERSION`` whenever a change invalidates previously cached
+results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from pathlib import Path
+
+__all__ = ["DiskCache", "default_cache_dir", "CACHE_VERSION"]
+
+#: Participates in every key; bump to invalidate all cached results.
+CACHE_VERSION = 8
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache directory (env override, else repo-local)."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.cwd() / ".repro_cache"
+
+
+class DiskCache:
+    """get/set of picklable values addressed by an arbitrary repr-able key."""
+
+    def __init__(self, directory: Path | str | None = None) -> None:
+        self.directory = Path(directory) if directory else default_cache_dir()
+
+    def _path(self, key: object) -> Path:
+        digest = hashlib.sha256(repr((CACHE_VERSION, key)).encode()).hexdigest()[:32]
+        return self.directory / f"{digest}.pkl"
+
+    def get(self, key: object):
+        """Return the cached value or ``None``."""
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError):
+            return None
+
+    def set(self, key: object, value) -> None:
+        """Store a value (atomic rename so readers never see partials)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "wb") as handle:
+            pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+
+    def memoize(self, key: object, compute):
+        """Return cached value for ``key`` or compute, store and return it."""
+        hit = self.get(key)
+        if hit is not None:
+            return hit
+        value = compute()
+        self.set(key, value)
+        return value

@@ -1,0 +1,290 @@
+"""The experiment engine behind every reproduced table and figure.
+
+One *cell* of the paper's evaluation grid is (application, dataset,
+reordering technique).  Producing a cell means:
+
+1. generate (or fetch) the dataset analog;
+2. instantiate the technique with the degree kind the paper uses for that
+   application (Table VIII) and compute the mapping;
+3. relabel the graph, remap the application's recorded execution plan, and
+   build the representative-super-step memory trace;
+4. run the trace through the cache simulator;
+5. convert miss counts to cycles and reordering cost to cycles.
+
+Steps 2–4 are the expensive ones, so cell results (small dicts of counters)
+are memoized on disk via :class:`repro.analysis.diskcache.DiskCache`, as
+are Gorder mappings and application plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.diskcache import DiskCache
+from repro.apps import make_app
+from repro.apps.registry import APPS
+from repro.cachesim import DEFAULT_HIERARCHY, HierarchyConfig, simulate_trace
+from repro.graph.csr import Graph
+from repro.graph.generators import load_dataset
+from repro.perfmodel.cost import ReorderCostModel
+from repro.perfmodel.timing import LatencyModel, superstep_cycles
+from repro.reorder import Composed, Gorder, make_technique
+from repro.reorder.base import identity_mapping
+
+__all__ = ["ExperimentConfig", "ExperimentRunner", "CellResult"]
+
+#: Apps whose runtime depends on a traversal root (paper runs 8 roots).
+ROOT_APPS = ("SSSP", "BC")
+#: Traversals the paper aggregates for root-dependent applications.
+PAPER_TRAVERSALS = 8
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by a whole experiment campaign."""
+
+    scale: float = 1.0
+    hierarchy: HierarchyConfig = DEFAULT_HIERARCHY
+    latencies: LatencyModel = field(default_factory=LatencyModel)
+    cost_model: ReorderCostModel = field(default_factory=ReorderCostModel)
+    #: Roots sampled (and averaged) per root-dependent cell.
+    num_roots: int = 2
+    #: Traversal count used when reporting whole-run times for root apps.
+    traversals: int = PAPER_TRAVERSALS
+
+    def cache_key(self) -> tuple:
+        h = self.hierarchy
+        return (
+            self.scale,
+            (h.l1.size_bytes, h.l1.associativity),
+            (h.l2.size_bytes, h.l2.associativity),
+            (h.l3.size_bytes, h.l3.associativity),
+            h.replacement,
+            self.num_roots,
+        )
+
+
+@dataclass
+class CellResult:
+    """Counters for one (app, dataset, technique) cell.
+
+    ``superstep_cycles`` / ``run_cycles`` are modelled execution cycles for
+    one work unit (PR iteration, one traversal's representative step) and
+    for the whole run respectively; ``reorder_cycles`` is the modelled
+    end-to-end reordering cost in the same domain.
+    """
+
+    app: str
+    dataset: str
+    technique: str
+    mpki: dict
+    l2_breakdown: dict
+    l2_misses: int
+    instructions: int
+    superstep_cycles: float
+    unit_cycles: float  #: cycles per work unit (iteration / traversal)
+    run_cycles: float  #: whole run, excluding reordering
+    reorder_cycles: float
+
+
+class ExperimentRunner:
+    """Produces memoized cell results and derived speedups."""
+
+    def __init__(
+        self, config: ExperimentConfig | None = None, cache: DiskCache | None = None
+    ) -> None:
+        self.config = config or ExperimentConfig()
+        self.cache = cache or DiskCache()
+        self._graphs: dict[tuple, Graph] = {}
+        self._plans: dict[tuple, object] = {}
+        self._mappings: dict[tuple, np.ndarray] = {}
+        self._reordered: dict[tuple, Graph] = {}
+
+    # -- building blocks ---------------------------------------------------
+    def graph(self, dataset: str, weighted: bool = False) -> Graph:
+        key = (dataset, weighted)
+        if key not in self._graphs:
+            self._graphs[key] = load_dataset(
+                dataset, scale=self.config.scale, weighted=weighted
+            )
+        return self._graphs[key]
+
+    def roots(self, dataset: str) -> list[int]:
+        """Deterministic traversal roots with non-trivial out-degree."""
+        graph = self.graph(dataset)
+        seed = int.from_bytes(dataset.encode(), "little") % (2**32)
+        rng = np.random.default_rng(seed)
+        candidates = np.flatnonzero(graph.out_degrees() >= graph.average_degree())
+        if candidates.size == 0:
+            candidates = np.arange(graph.num_vertices)
+        picks = rng.choice(
+            candidates, size=min(self.config.num_roots, candidates.size), replace=False
+        )
+        return [int(p) for p in picks]
+
+    def mapping(self, dataset: str, technique_name: str, degree_kind: str) -> np.ndarray:
+        """Permutation for (dataset, technique); Gorder is disk-memoized."""
+        key = (dataset, technique_name, degree_kind)
+        if key in self._mappings:
+            return self._mappings[key]
+        technique = self._make(technique_name, degree_kind)
+        if isinstance(technique, (Gorder, Composed)):
+            disk_key = ("mapping", self.config.cache_key(), dataset, technique_name)
+            mapping = self.cache.memoize(
+                disk_key, lambda: technique.compute_mapping(self.graph(dataset))
+            )
+        elif technique_name == "Original":
+            mapping = identity_mapping(self.graph(dataset).num_vertices)
+        else:
+            mapping = technique.compute_mapping(self.graph(dataset))
+        self._mappings[key] = mapping
+        return mapping
+
+    def _make(self, technique_name: str, degree_kind: str):
+        # Ablation labels may pin the degree kind: "DBG@in".
+        if "@" in technique_name:
+            technique_name, _, degree_kind = technique_name.partition("@")
+        if technique_name == "Gorder+DBG":
+            return Composed([Gorder(degree_kind), make_technique("DBG", degree_kind)])
+        if technique_name.startswith("Gorder-w"):
+            # Ablation labels: Gorder with an explicit window size.
+            return Gorder(degree_kind, window=int(technique_name[8:]))
+        if technique_name.startswith("DBG-g"):
+            # Ablation labels: DBG with an explicit hot-group count.
+            return make_technique(
+                "DBG", degree_kind, num_hot_groups=int(technique_name[5:])
+            )
+        if technique_name.startswith("DBG-t"):
+            # Ablation labels: DBG with a scaled hot threshold.
+            return make_technique(
+                "DBG", degree_kind, boundary_scale=float(technique_name[5:])
+            )
+        return make_technique(technique_name, degree_kind)
+
+    def reordered_graph(
+        self, dataset: str, technique_name: str, degree_kind: str, weighted: bool
+    ) -> Graph:
+        key = (dataset, technique_name, degree_kind, weighted)
+        if key not in self._reordered:
+            mapping = self.mapping(dataset, technique_name, degree_kind)
+            self._reordered[key] = self.graph(dataset, weighted).relabel(mapping)
+        return self._reordered[key]
+
+    def plan(self, app_name: str, dataset: str, root: int | None = None):
+        """Application execution plan recorded on the original ordering."""
+        key = (app_name, dataset, root)
+        if key not in self._plans:
+            app = make_app(app_name)
+            weighted = app_name == "SSSP"
+            graph = self.graph(dataset, weighted)
+            kwargs = {} if root is None else {"root": root}
+            self._plans[key] = app.plan(graph, **kwargs)
+        return self._plans[key]
+
+    # -- cells ---------------------------------------------------------------
+    def cell(self, app_name: str, dataset: str, technique_name: str) -> CellResult:
+        """Memoized counters for one grid cell (see module docstring)."""
+        disk_key = ("cell", self.config.cache_key(), app_name, dataset, technique_name)
+        cached = self.cache.get(disk_key)
+        if cached is not None:
+            return CellResult(**cached)
+        result = self._compute_cell(app_name, dataset, technique_name)
+        payload = {k: getattr(result, k) for k in result.__dataclass_fields__}
+        self.cache.set(disk_key, payload)
+        return result
+
+    def _compute_cell(self, app_name: str, dataset: str, technique_name: str) -> CellResult:
+        app = make_app(app_name)
+        weighted = app_name == "SSSP"
+        degree_kind = app.reorder_degree_kind
+        if "@" in technique_name:
+            degree_kind = technique_name.partition("@")[2]
+        graph = self.reordered_graph(dataset, technique_name, degree_kind, weighted)
+        mapping = self.mapping(dataset, technique_name, degree_kind)
+
+        roots = self.roots(dataset) if app_name in ROOT_APPS else [None]
+        total_instr = 0
+        total_l1m = total_l2m = total_l3m = 0
+        total_accesses = 0
+        breakdown = {"l3_hit": 0, "snoop_local": 0, "snoop_remote": 0, "offchip": 0}
+        step_cycles = []
+        unit_cycles = []
+        run_cycles = []
+        for root in roots:
+            plan = self.plan(app_name, dataset, root).remap(mapping)
+            app_trace = app.trace(graph, plan)
+            stats = simulate_trace(app_trace.trace, self.config.hierarchy)
+            total_instr += app_trace.instructions
+            total_accesses += stats.accesses
+            total_l1m += stats.l1_misses
+            total_l2m += stats.l2_misses
+            total_l3m += stats.l3_misses
+            for k in breakdown:
+                breakdown[k] += stats.l2_miss_breakdown[k]
+            cycles = superstep_cycles(app_trace, stats, self.config.latencies)
+            step_cycles.append(cycles)
+            per_run = cycles * app_trace.superstep_multiplier
+            unit_cycles.append(per_run)  # one traversal / whole iterative run
+            run_cycles.append(per_run)
+
+        mean_step = float(np.mean(step_cycles))
+        mean_unit = float(np.mean(unit_cycles))
+        if app_name in ROOT_APPS:
+            # Paper aggregates 8 traversals; we extrapolate the mean root.
+            total_run = mean_unit * self.config.traversals
+        else:
+            total_run = mean_unit
+        kilo = max(total_instr, 1) / 1000.0
+        technique = self._make(technique_name, degree_kind)
+        reorder_cycles = self.config.cost_model.total_cycles(
+            technique, self.graph(dataset, weighted)
+        )
+        return CellResult(
+            app=app_name,
+            dataset=dataset,
+            technique=technique_name,
+            mpki={
+                "l1": total_l1m / kilo,
+                "l2": total_l2m / kilo,
+                "l3": total_l3m / kilo,
+            },
+            l2_breakdown=breakdown,
+            l2_misses=total_l2m,
+            instructions=total_instr,
+            superstep_cycles=mean_step,
+            unit_cycles=mean_unit,
+            run_cycles=total_run,
+            reorder_cycles=reorder_cycles,
+        )
+
+    # -- derived metrics -----------------------------------------------------
+    def speedup(
+        self,
+        app_name: str,
+        dataset: str,
+        technique_name: str,
+        include_reorder: bool = False,
+        traversals: int | None = None,
+    ) -> float:
+        """Speed-up (%) of a technique over the original ordering."""
+        base = self.cell(app_name, dataset, "Original")
+        cell = self.cell(app_name, dataset, technique_name)
+        if app_name in ROOT_APPS and traversals is not None:
+            base_run = base.unit_cycles * traversals
+            run = cell.unit_cycles * traversals
+        else:
+            base_run = base.run_cycles
+            run = cell.run_cycles
+        if include_reorder:
+            run += cell.reorder_cycles
+        return (base_run / run - 1.0) * 100.0
+
+
+def geomean_speedup(speedups_pct: list[float]) -> float:
+    """Geometric mean of speed-ups expressed in percent (paper's GMean)."""
+    ratios = np.array([1.0 + s / 100.0 for s in speedups_pct])
+    if np.any(ratios <= 0):
+        raise ValueError("speed-up below -100% is not meaningful")
+    return float((np.exp(np.log(ratios).mean()) - 1.0) * 100.0)

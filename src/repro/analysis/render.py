@@ -1,0 +1,38 @@
+"""Minimal ASCII rendering for table/figure results."""
+
+from __future__ import annotations
+
+__all__ = ["ascii_table", "render_result"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def ascii_table(headers: list[str], rows: list[list]) -> str:
+    """Render rows as a fixed-width table with a header rule."""
+    table = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in table:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    rule = "-" * len(line)
+    body = [
+        "  ".join(cell.rjust(w) if i else cell.ljust(w) for i, (cell, w) in enumerate(zip(row, widths)))
+        for row in table
+    ]
+    return "\n".join([line, rule, *body])
+
+
+def render_result(result: dict) -> str:
+    """Render a tables/figures result dict (title, headers, rows)."""
+    parts = [result["title"], ""]
+    parts.append(ascii_table(result["headers"], result["rows"]))
+    if result.get("notes"):
+        parts += ["", result["notes"]]
+    return "\n".join(parts)

@@ -1,0 +1,285 @@
+"""Regeneration of the paper's tables (I–V, IX–XII).
+
+Each function returns ``{"title", "headers", "rows", ...}`` suitable for
+:func:`repro.analysis.render.render_result`.  Paper reference values are
+included alongside measured ones where the paper reports them, so the
+benchmark output doubles as the paper-vs-reproduction comparison recorded
+in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from repro.analysis.experiments import ExperimentRunner
+from repro.graph.generators import (
+    DATASETS,
+    NO_SKEW_DATASETS,
+    SKEWED_DATASETS,
+    dataset_table,
+)
+from repro.graph.properties import (
+    hot_degree_distribution,
+    hot_footprint_bytes,
+    hot_vertices_per_block,
+    skew_summary,
+)
+from repro.reorder import make_technique
+
+__all__ = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table9_10",
+    "table11",
+    "table12",
+]
+
+#: Paper Table I reference values: (hot_in, cov_in, hot_out, cov_out).
+PAPER_TABLE1 = {
+    "kr": (9, 93, 9, 93),
+    "pl": (16, 83, 13, 88),
+    "tw": (12, 84, 10, 83),
+    "sd": (11, 88, 13, 88),
+    "lj": (25, 81, 26, 82),
+    "wl": (12, 88, 20, 94),
+    "fr": (24, 86, 18, 92),
+    "mp": (10, 80, 12, 81),
+}
+
+#: Paper Table II reference: average hot vertices per cache block.
+PAPER_TABLE2 = {
+    "kr": 1.3, "pl": 1.6, "tw": 1.5, "sd": 1.8,
+    "lj": 3.5, "wl": 3.1, "fr": 2.7, "mp": 2.6,
+}
+
+#: Paper Table XI: reordering time normalized to Sort.
+PAPER_TABLE11 = {
+    "HubSort-O": {"kr": 1.02, "pl": 1.04, "tw": 1.01, "sd": 1.02, "lj": 1.09, "wl": 0.79, "fr": 1.04, "mp": 1.01},
+    "HubSort": {"kr": 0.80, "pl": 0.82, "tw": 0.84, "sd": 0.84, "lj": 0.87, "wl": 0.91, "fr": 0.90, "mp": 0.89},
+    "HubCluster-O": {"kr": 0.78, "pl": 0.79, "tw": 0.81, "sd": 0.81, "lj": 0.78, "wl": 0.56, "fr": 0.88, "mp": 0.87},
+    "HubCluster": {"kr": 0.77, "pl": 0.74, "tw": 0.81, "sd": 0.78, "lj": 0.76, "wl": 0.81, "fr": 0.84, "mp": 0.82},
+}
+
+#: Paper Table XII: PR iterations to amortize reordering.
+PAPER_TABLE12 = {
+    "Sort": {"tw": 3.3, "sd": 3.7, "fr": 8.6, "mp": 18.2},
+    "HubSort": {"tw": 2.4, "sd": 3.0, "fr": 7.4, "mp": 10.3},
+    "HubCluster": {"tw": 3.5, "sd": 5.0, "fr": 4.7, "mp": 7.5},
+    "DBG": {"tw": 1.9, "sd": 2.4, "fr": 3.2, "mp": 4.4},
+    "Gorder": {"tw": 258.6, "sd": 112.2, "fr": 254.9, "mp": 1359.4},
+}
+
+
+def table1(runner: ExperimentRunner | None = None) -> dict:
+    """Table I: hot-vertex share and edge coverage per skewed dataset."""
+    runner = runner or ExperimentRunner()
+    rows = []
+    for name in SKEWED_DATASETS:
+        s = skew_summary(runner.graph(name))
+        ref = PAPER_TABLE1[name]
+        rows.append(
+            [
+                name,
+                round(s.hot_vertex_pct_in, 1), ref[0],
+                round(s.edge_coverage_pct_in, 1), ref[1],
+                round(s.hot_vertex_pct_out, 1), ref[2],
+                round(s.edge_coverage_pct_out, 1), ref[3],
+            ]
+        )
+    return {
+        "title": "Table I: skew characterization (hot = degree >= average)",
+        "headers": [
+            "dataset",
+            "hot_in%", "paper",
+            "cov_in%", "paper",
+            "hot_out%", "paper",
+            "cov_out%", "paper",
+        ],
+        "rows": rows,
+    }
+
+
+def table2(runner: ExperimentRunner | None = None) -> dict:
+    """Table II: average hot vertices per 64-byte cache block."""
+    runner = runner or ExperimentRunner()
+    rows = []
+    for name in SKEWED_DATASETS:
+        measured = hot_vertices_per_block(runner.graph(name), kind="out")
+        rows.append([name, round(measured, 2), PAPER_TABLE2[name]])
+    return {
+        "title": "Table II: avg hot vertices per cache block (8 B/vertex, 64 B blocks)",
+        "headers": ["dataset", "hot/block", "paper"],
+        "rows": rows,
+        "notes": "Upper bound is 8; the gap to it is the footprint-reduction opportunity.",
+    }
+
+
+def table3(runner: ExperimentRunner | None = None) -> dict:
+    """Table III: capacity needed to hold all hot vertices (8 B and 16 B)."""
+    runner = runner or ExperimentRunner()
+    llc = runner.config.hierarchy.l3.size_bytes
+    rows = []
+    for name in SKEWED_DATASETS:
+        graph = runner.graph(name)
+        b8 = hot_footprint_bytes(graph, kind="out", property_bytes=8)
+        b16 = hot_footprint_bytes(graph, kind="out", property_bytes=16)
+        rows.append([name, round(b8 / 1024, 1), round(b16 / 1024, 1), round(b8 / llc, 2)])
+    return {
+        "title": "Table III: hot-vertex footprint (KiB) and ratio to the simulated LLC",
+        "headers": ["dataset", "8B (KiB)", "16B (KiB)", "8B / LLC"],
+        "rows": rows,
+        "notes": (
+            "The paper's 25 MB LLC corresponds to the scaled "
+            f"{llc // 1024} KiB LLC here; ratios > 1 mean hot vertices thrash the LLC."
+        ),
+    }
+
+
+def table4(runner: ExperimentRunner | None = None, dataset: str = "sd") -> dict:
+    """Table IV: degree distribution of hot vertices (geometric ranges)."""
+    runner = runner or ExperimentRunner()
+    dist = hot_degree_distribution(runner.graph(dataset), kind="out")
+    paper_pct = {0: 45, 1: 28, 2: 15, 3: 7, 4: 3, 5: 2}
+    rows = [
+        [row["range"], round(row["vertex_pct"], 1), paper_pct.get(i),
+         round(row["footprint_bytes"] / 1024, 1)]
+        for i, row in enumerate(dist)
+    ]
+    return {
+        "title": f"Table IV: degree distribution of hot vertices ({dataset})",
+        "headers": ["degree range", "vertices%", "paper%", "footprint KiB"],
+        "rows": rows,
+        "notes": "Power law: each doubling of the range roughly halves the vertex count.",
+    }
+
+
+def table5(runner: ExperimentRunner | None = None, dataset: str = "sd") -> dict:
+    """Table V: skew-aware techniques expressed in the DBG framework.
+
+    Reports the number of groups each technique's mapping induces on the
+    dataset (maximal runs of vertices whose original relative order is
+    preserved correspond to the framework's groups).
+    """
+    runner = runner or ExperimentRunner()
+    graph = runner.graph(dataset)
+    degrees = graph.out_degrees()
+    avg = graph.average_degree()
+    max_degree = int(degrees.max())
+    unique_degrees = int(np.unique(degrees).size)
+    unique_hot = int(np.unique(degrees[degrees >= avg]).size)
+    rows = [
+        ["Sort", unique_degrees, "[n, n+1) per unique degree"],
+        ["HubSort", unique_hot + 1, "[0, A) plus [n, n+1) per hot degree"],
+        ["HubCluster", 2, "[0, A), [A, M]"],
+        ["DBG", int(math.floor(math.log2(max(max_degree / avg, 1)))) + 3,
+         "[0, A/2), [A/2, A), geometric [2^k A, 2^(k+1) A)"],
+    ]
+    return {
+        "title": f"Table V: techniques as DBG-framework instances ({dataset}, A={avg:.1f}, M={max_degree})",
+        "headers": ["technique", "#groups", "degree ranges"],
+        "rows": rows,
+    }
+
+
+def table9_10(runner: ExperimentRunner | None = None) -> dict:
+    """Tables IX and X: dataset analog properties vs the paper's datasets."""
+    runner = runner or ExperimentRunner()
+    rows = []
+    for entry in dataset_table(scale=runner.config.scale):
+        rows.append(
+            [
+                entry["dataset"],
+                entry["vertices"],
+                entry["edges"],
+                entry["avg_degree"],
+                "structured" if entry["structured"] else "unstructured",
+                f"{entry['paper_vertices']/1e6:.0f}M",
+                f"{entry['paper_edges']/1e6:.0f}M",
+                entry["paper_avg_degree"],
+            ]
+        )
+    return {
+        "title": "Tables IX/X: dataset analogs (measured) vs paper datasets (reference)",
+        "headers": [
+            "dataset", "V", "E", "avg deg", "ordering",
+            "paper V", "paper E", "paper avg",
+        ],
+        "rows": rows,
+    }
+
+
+def table11(runner: ExperimentRunner | None = None, repeats: int = 3) -> dict:
+    """Table XI: reordering time normalized to Sort.
+
+    Two reproduction columns per dataset family: the operation-count model
+    (deterministic, used by the net-speedup figures) and the measured
+    wall-clock of this package's vectorized implementations.
+    """
+    runner = runner or ExperimentRunner()
+    techniques = ["HubSort-O", "HubSort", "HubCluster-O", "HubCluster", "DBG"]
+    rows = []
+    for name in SKEWED_DATASETS:
+        graph = runner.graph(name)
+        sort_model = runner.config.cost_model.total_cycles(
+            make_technique("Sort", "out"), graph
+        )
+        sort_wall = _measured_reorder_seconds(graph, "Sort", repeats)
+        row = [name]
+        for tech in techniques:
+            model = runner.config.cost_model.total_cycles(
+                make_technique(tech, "out"), graph
+            )
+            wall = _measured_reorder_seconds(graph, tech, repeats)
+            paper = PAPER_TABLE11.get(tech, {}).get(name)
+            row += [round(model / sort_model, 2), round(wall / sort_wall, 2), paper]
+        rows.append(row)
+    headers = ["dataset"]
+    for tech in techniques:
+        headers += [f"{tech} model", "wall", "paper"]
+    return {
+        "title": "Table XI: reordering time normalized to Sort (lower is better)",
+        "headers": headers,
+        "rows": rows,
+    }
+
+
+def _measured_reorder_seconds(graph, technique_name: str, repeats: int) -> float:
+    best = math.inf
+    for _ in range(repeats):
+        technique = make_technique(technique_name, "out")
+        t0 = time.perf_counter()
+        technique.apply(graph)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def table12(runner: ExperimentRunner | None = None) -> dict:
+    """Table XII: PR iterations needed to amortize reordering cost."""
+    runner = runner or ExperimentRunner()
+    datasets = ["tw", "sd", "fr", "mp"]
+    techniques = ["Sort", "HubSort", "HubCluster", "DBG", "Gorder"]
+    rows = []
+    for name in datasets:
+        base = runner.cell("PR", name, "Original")
+        row = [name]
+        for tech in techniques:
+            cell = runner.cell("PR", name, tech)
+            gain = base.superstep_cycles - cell.superstep_cycles
+            iters = cell.reorder_cycles / gain if gain > 0 else math.inf
+            paper = PAPER_TABLE12[tech][name]
+            row += [round(iters, 1) if math.isfinite(iters) else "inf", paper]
+        rows.append(row)
+    headers = ["dataset"]
+    for tech in techniques:
+        headers += [tech, "paper"]
+    return {
+        "title": "Table XII: minimum PR iterations to amortize reordering time",
+        "headers": headers,
+        "rows": rows,
+    }

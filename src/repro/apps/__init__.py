@@ -1,0 +1,47 @@
+"""The paper's five graph applications (Table VII), on the Ligra-like engine.
+
+===========  ==============  ======================  ====================
+Application  Computation     Irregular property      Reordering degree
+===========  ==============  ======================  ====================
+BC           pull-push       8 B (counts/deps)       out
+SSSP         push-only       8 B (distances)         in
+PR           pull-only       12 B (rank + degree)    out
+PRD          push-only       8 B (delta sums)        in
+Radii        pull-push       8 B (visit masks)       out
+===========  ==============  ======================  ====================
+
+(Reproduces the paper's Table VIII.)  Each application offers ``run`` (the
+actual computation, for correctness), ``plan`` (a logical execution plan
+recorded from a run — frontiers, iteration counts) and ``trace`` (the
+memory-access trace of a representative super-step, used by the cache
+simulator and performance model).  Plans are expressed in vertex IDs and
+can be remapped through a reordering, so a single run of the algorithm
+serves every ordering of the same graph.
+"""
+
+from repro.apps.base import GraphApp, TracePlan
+from repro.apps.pagerank import PageRank
+from repro.apps.pagerank_delta import PageRankDelta
+from repro.apps.sssp import SSSP
+from repro.apps.bc import BetweennessCentrality
+from repro.apps.radii import Radii
+from repro.apps.components import ConnectedComponents
+from repro.apps.kcore import KCore
+from repro.apps.bfs import BFS
+from repro.apps.registry import APPS, EXTENSION_APPS, make_app
+
+__all__ = [
+    "GraphApp",
+    "TracePlan",
+    "PageRank",
+    "PageRankDelta",
+    "SSSP",
+    "BetweennessCentrality",
+    "Radii",
+    "APPS",
+    "EXTENSION_APPS",
+    "ConnectedComponents",
+    "KCore",
+    "BFS",
+    "make_app",
+]

@@ -1,0 +1,88 @@
+"""Direction-optimizing Breadth-First Search (extension application).
+
+BFS is the workload direction-optimizing traversal was invented for
+(Beamer et al., cited via Ligra): small frontiers push, large frontiers
+pull, and the engine's threshold heuristic decides per level.  Unlike the
+five paper apps — which are pull-only, push-only, or BFS-*kernels* inside
+a bigger computation — plain BFS exposes the raw switch, so its recorded
+plan is the one whose super-steps genuinely alternate directions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import Graph
+from repro.framework.engine import edge_map
+from repro.framework.vertex_subset import VertexSubset
+from repro.apps.base import GraphApp, SuperStep, TracePlan
+
+__all__ = ["BFS"]
+
+
+class BFS(GraphApp):
+    """Level-synchronous BFS with automatic push/pull switching."""
+
+    name = "BFS"
+    computation = "pull-push"
+    irregular_property_bytes = 8  # the parent/level array
+    total_property_bytes = 8
+    reorder_degree_kind = "out"
+
+    def run(self, graph: Graph, root: int = 0, **kwargs) -> dict:
+        """Returns ``{"levels", "parents", "rounds", "plan"}``.
+
+        ``levels[v]`` is the hop distance from ``root`` (−1 when
+        unreachable); ``parents[v]`` is a BFS-tree parent (−1 for the root
+        and unreachable vertices).
+        """
+        n = graph.num_vertices
+        levels = np.full(n, -1, dtype=np.int64)
+        parents = np.full(n, -1, dtype=np.int64)
+        levels[root] = 0
+        frontier = VertexSubset.single(n, root)
+
+        supersteps: list[SuperStep] = []
+        total_edges = 0
+        depth = 0
+        while not frontier.is_empty():
+            active = frontier.ids()
+            edges = int(np.diff(graph.out_offsets)[active].sum())
+
+            def update(src, dst, weights):
+                fresh = levels[dst] == -1
+                # First writer wins within the batch, like Ligra's CAS.
+                candidates = np.flatnonzero(fresh)
+                _, first_of = np.unique(dst[candidates], return_index=True)
+                first_idx = np.zeros(dst.size, dtype=bool)
+                first_idx[candidates[first_of]] = True
+                levels[dst[first_idx]] = depth + 1
+                parents[dst[first_idx]] = src[first_idx]
+                return first_idx
+
+            def cond(dst):
+                return levels[dst] == -1
+
+            result = edge_map(graph, frontier, update, cond=cond, direction="auto")
+            if edges:
+                supersteps.append(SuperStep(result.direction, active, edges))
+                total_edges += edges
+            frontier = result.frontier
+            depth += 1
+
+        if not supersteps:
+            supersteps.append(SuperStep("push", np.array([root]), 0))
+        representative = int(np.argmax([s.edges for s in supersteps]))
+        plan = TracePlan(
+            app=self.name,
+            supersteps=tuple(supersteps),
+            representative=representative,
+            total_edges=max(total_edges, 1),
+            detail={"root": root, "rounds": depth},
+        )
+        return {
+            "levels": levels,
+            "parents": parents,
+            "rounds": depth,
+            "plan": plan,
+        }

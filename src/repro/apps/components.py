@@ -1,0 +1,74 @@
+"""Connected Components via label propagation (extension application).
+
+Not part of the paper's five-app suite, but a standard Ligra workload used
+by the lightweight-reordering study the paper builds on (Balaji & Lucia,
+IISWC'18).  Included to let the harness evaluate reordering on an
+all-active, pull-style kernel whose per-vertex property is a plain label.
+
+Computes *weakly* connected components: labels propagate across edges in
+both directions until a fixed point, each vertex ending with the minimum
+vertex ID of its component.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import Graph
+from repro.apps.base import GraphApp, SuperStep, TracePlan
+
+__all__ = ["ConnectedComponents"]
+
+
+class ConnectedComponents(GraphApp):
+    """Min-label propagation to a fixed point."""
+
+    name = "CC"
+    computation = "pull"
+    irregular_property_bytes = 8
+    total_property_bytes = 8
+    reorder_degree_kind = "out"
+
+    def __init__(self, max_iterations: int = 1000) -> None:
+        self.max_iterations = max_iterations
+
+    def run(self, graph: Graph, **kwargs) -> dict:
+        """Returns ``{"labels", "num_components", "iterations", "plan"}``."""
+        n = graph.num_vertices
+        if n == 0:
+            plan = TracePlan(self.name, (SuperStep("pull", None, 0),), 0, 0)
+            return {
+                "labels": np.empty(0, dtype=np.int64),
+                "num_components": 0,
+                "iterations": 0,
+                "plan": plan,
+            }
+        labels = np.arange(n, dtype=np.int64)
+        src, dst = graph.edge_array()
+        iterations = 0
+        supersteps: list[SuperStep] = []
+        total_edges = 0
+        for _ in range(self.max_iterations):
+            new_labels = labels.copy()
+            # Propagate the minimum label across each edge, both ways.
+            np.minimum.at(new_labels, dst, labels[src])
+            np.minimum.at(new_labels, src, labels[dst])
+            iterations += 1
+            supersteps.append(SuperStep("pull", None, graph.num_edges))
+            total_edges += graph.num_edges
+            if np.array_equal(new_labels, labels):
+                break
+            labels = new_labels
+        plan = TracePlan(
+            app=self.name,
+            supersteps=tuple(supersteps),
+            representative=0,
+            total_edges=max(total_edges, 1),
+            detail={"iterations": iterations},
+        )
+        return {
+            "labels": labels,
+            "num_components": int(np.unique(labels).size),
+            "iterations": iterations,
+            "plan": plan,
+        }

@@ -1,0 +1,41 @@
+"""Name-based construction of applications (paper Table VII order)."""
+
+from __future__ import annotations
+
+from repro.apps.base import GraphApp
+from repro.apps.bc import BetweennessCentrality
+from repro.apps.pagerank import PageRank
+from repro.apps.pagerank_delta import PageRankDelta
+from repro.apps.radii import Radii
+from repro.apps.sssp import SSSP
+from repro.apps.components import ConnectedComponents
+from repro.apps.kcore import KCore
+from repro.apps.bfs import BFS
+
+__all__ = ["APPS", "APP_ORDER", "EXTENSION_APPS", "make_app"]
+
+#: Application classes keyed by the paper's abbreviations.
+APPS: dict[str, type[GraphApp]] = {
+    "BC": BetweennessCentrality,
+    "SSSP": SSSP,
+    "PR": PageRank,
+    "PRD": PageRankDelta,
+    "Radii": Radii,
+}
+
+#: Figure order used throughout the paper's evaluation.
+APP_ORDER = ["BC", "SSSP", "PR", "PRD", "Radii"]
+
+#: Extra workloads beyond the paper's suite (kept out of the paper-shaped
+#: figures; used by the extended-comparison benches).
+EXTENSION_APPS = ["CC", "KCore", "BFS"]
+APPS["CC"] = ConnectedComponents
+APPS["KCore"] = KCore
+APPS["BFS"] = BFS
+
+
+def make_app(name: str, **kwargs) -> GraphApp:
+    """Instantiate an application by its paper abbreviation."""
+    if name not in APPS:
+        raise KeyError(f"unknown app {name!r}; known: {sorted(APPS)}")
+    return APPS[name](**kwargs)

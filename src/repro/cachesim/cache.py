@@ -1,0 +1,95 @@
+"""A single set-associative LRU cache.
+
+This is the reference implementation used by the unit and property tests;
+:mod:`repro.cachesim.hierarchy` inlines the same semantics in a tighter
+loop for the three-level simulation, and a test asserts the two agree on
+random traces.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SetAssociativeCache"]
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache over block IDs.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total capacity; must be a multiple of ``block_bytes * associativity``.
+    associativity:
+        Ways per set; ``size_bytes // (block_bytes * associativity)`` sets
+        (must come out a power of two so set indexing is a mask).
+    block_bytes:
+        Cache block size (64 in the paper).
+    policy:
+        Replacement policy: ``"lru"`` (default), ``"fifo"`` (no promotion
+        on hit) or ``"lip"`` (LRU-insertion: fills land at the LRU end, so
+        a line must be reused to survive — a thrash-resistant policy from
+        the cache-management literature the paper's related work cites).
+    """
+
+    POLICIES = ("lru", "fifo", "lip")
+
+    def __init__(
+        self,
+        size_bytes: int,
+        associativity: int,
+        block_bytes: int = 64,
+        policy: str = "lru",
+    ) -> None:
+        if size_bytes <= 0 or associativity <= 0:
+            raise ValueError("size and associativity must be positive")
+        if policy not in self.POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; known: {self.POLICIES}")
+        num_blocks, rem = divmod(size_bytes, block_bytes)
+        if rem:
+            raise ValueError("size_bytes must be a multiple of block_bytes")
+        num_sets, rem = divmod(num_blocks, associativity)
+        if rem:
+            raise ValueError("capacity must divide evenly into sets")
+        if num_sets & (num_sets - 1):
+            raise ValueError("number of sets must be a power of two")
+        self.size_bytes = size_bytes
+        self.associativity = associativity
+        self.block_bytes = block_bytes
+        self.policy = policy
+        self.num_sets = num_sets
+        self._mask = num_sets - 1
+        self._promote_on_hit = policy in ("lru", "lip")
+        self._insert_mru = policy in ("lru", "fifo")
+        # Each set is a list of block IDs, LRU at index 0, MRU at the end.
+        self._sets: list[list[int]] = [[] for _ in range(num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, block: int) -> bool:
+        """Access one block; returns True on hit.  Misses allocate."""
+        ways = self._sets[block & self._mask]
+        if block in ways:
+            if self._promote_on_hit and ways[-1] != block:
+                ways.remove(block)
+                ways.append(block)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(ways) >= self.associativity:
+            ways.pop(0)
+        if self._insert_mru:
+            ways.append(block)
+        else:
+            ways.insert(0, block)
+        return False
+
+    def contains(self, block: int) -> bool:
+        """Whether the block is currently resident (no LRU update)."""
+        return block in self._sets[block & self._mask]
+
+    def resident_blocks(self) -> set[int]:
+        """All currently-resident block IDs."""
+        return {block for ways in self._sets for block in ways}
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0

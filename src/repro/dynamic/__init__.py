@@ -1,0 +1,43 @@
+"""Dynamic graphs: reordering under interleaved updates and queries.
+
+The paper's Section VIII-B sketches this as future work: in deployments
+where "a stream of graph updates ... are interleaved with graph-analytic
+queries", reordering cost can be amortized over many queries, and because
+updates barely move the degree distribution in the short term, reordering
+only needs to be re-applied at large intervals.
+
+This package builds that study:
+
+* :class:`~repro.dynamic.store.DynamicGraph` — an evolving edge set with
+  CSR snapshots;
+* :mod:`~repro.dynamic.stream` — update-batch generators (preferential
+  attachment growth + random removals);
+* :mod:`~repro.dynamic.scheduler` — re-reordering policies (never, once,
+  periodic, hot-set-drift triggered);
+* :mod:`~repro.dynamic.simulate` — a workload simulator pricing query and
+  reordering costs in the repro cycle domain.
+"""
+
+from repro.dynamic.store import DynamicGraph
+from repro.dynamic.stream import UpdateBatch, update_stream
+from repro.dynamic.scheduler import (
+    NeverReorder,
+    ReorderOnce,
+    PeriodicReorder,
+    DriftTriggered,
+    hot_set_overlap,
+)
+from repro.dynamic.simulate import WorkloadResult, simulate_workload
+
+__all__ = [
+    "DynamicGraph",
+    "UpdateBatch",
+    "update_stream",
+    "NeverReorder",
+    "ReorderOnce",
+    "PeriodicReorder",
+    "DriftTriggered",
+    "hot_set_overlap",
+    "WorkloadResult",
+    "simulate_workload",
+]

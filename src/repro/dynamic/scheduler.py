@@ -1,0 +1,113 @@
+"""Re-reordering policies for evolving graphs.
+
+A policy is consulted once per epoch (after each update batch lands,
+before that epoch's queries run) and answers: *reorder now?*  The paper's
+Section VIII-B intuition — short windows of updates rarely change which
+vertices are hot — motivates :class:`DriftTriggered`, which re-reorders
+only when the hot set has drifted past a threshold since the ordering was
+last computed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "hot_set_overlap",
+    "ReorderPolicy",
+    "NeverReorder",
+    "ReorderOnce",
+    "PeriodicReorder",
+    "DriftTriggered",
+]
+
+
+def hot_set_overlap(degrees_a: np.ndarray, degrees_b: np.ndarray) -> float:
+    """Jaccard overlap of the hot sets induced by two degree vectors.
+
+    Hotness uses each vector's own average as the threshold, matching the
+    paper's hot-vertex definition.  Returns 1.0 when both hot sets are
+    empty.
+    """
+    hot_a = degrees_a >= max(degrees_a.mean(), 1e-12)
+    hot_b = degrees_b >= max(degrees_b.mean(), 1e-12)
+    union = int((hot_a | hot_b).sum())
+    if union == 0:
+        return 1.0
+    return float((hot_a & hot_b).sum() / union)
+
+
+class ReorderPolicy:
+    """Base policy; subclasses override :meth:`should_reorder`."""
+
+    name = "policy"
+
+    def should_reorder(self, epoch: int, degrees: np.ndarray, state: dict) -> bool:
+        """Decide for this epoch.
+
+        ``state`` is a mutable per-run scratch dict the simulator threads
+        through; policies record whatever they need (e.g. the degree vector
+        at the last reorder).
+        """
+        raise NotImplementedError
+
+    def mark_reordered(self, epoch: int, degrees: np.ndarray, state: dict) -> None:
+        """Called by the simulator after a reorder actually happens."""
+        state["last_reorder_epoch"] = epoch
+        state["last_reorder_degrees"] = degrees.copy()
+
+
+class NeverReorder(ReorderPolicy):
+    """Baseline: always run on the original ordering."""
+
+    name = "never"
+
+    def should_reorder(self, epoch, degrees, state):
+        return False
+
+
+class ReorderOnce(ReorderPolicy):
+    """Reorder at the first epoch, never again (static-graph assumption)."""
+
+    name = "once"
+
+    def should_reorder(self, epoch, degrees, state):
+        return "last_reorder_epoch" not in state
+
+
+class PeriodicReorder(ReorderPolicy):
+    """Re-apply the reordering every ``period`` epochs."""
+
+    name = "periodic"
+
+    def __init__(self, period: int = 2) -> None:
+        if period < 1:
+            raise ValueError("period must be positive")
+        self.period = period
+        self.name = f"periodic-{period}"
+
+    def should_reorder(self, epoch, degrees, state):
+        last = state.get("last_reorder_epoch")
+        return last is None or epoch - last >= self.period
+
+
+class DriftTriggered(ReorderPolicy):
+    """Reorder when the hot set has drifted since the last reorder.
+
+    Triggers when the Jaccard overlap between the current hot set and the
+    hot set at the last reorder falls below ``min_overlap``.
+    """
+
+    name = "drift"
+
+    def __init__(self, min_overlap: float = 0.8) -> None:
+        if not 0.0 < min_overlap <= 1.0:
+            raise ValueError("min_overlap must be in (0, 1]")
+        self.min_overlap = min_overlap
+        self.name = f"drift-{min_overlap:.2f}"
+
+    def should_reorder(self, epoch, degrees, state):
+        reference = state.get("last_reorder_degrees")
+        if reference is None:
+            return True
+        return hot_set_overlap(reference, degrees) < self.min_overlap

@@ -1,0 +1,124 @@
+"""Workload simulator: updates and queries interleaved, reordering priced in.
+
+Runs a single update stream through a :class:`DynamicGraph` while several
+re-reordering policies race on it.  Per epoch (one update batch followed by
+``queries_per_epoch`` queries), each policy decides whether to re-apply the
+reordering technique; query costs come from the usual pipeline (run →
+trace → cache-simulate → cycle model) evaluated on the epoch's snapshot
+under the policy's current vertex mapping, and reordering costs come from
+the operation-count model.
+
+All policies see the same stream, so their totals are directly comparable;
+mappings and query costs are memoized by (epoch, reorder-epoch) so policies
+that happen to agree share the work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps import make_app
+from repro.cachesim import DEFAULT_HIERARCHY, HierarchyConfig, simulate_trace
+from repro.dynamic.scheduler import ReorderPolicy
+from repro.dynamic.store import DynamicGraph
+from repro.dynamic.stream import make_batch
+from repro.perfmodel.cost import ReorderCostModel
+from repro.perfmodel.timing import LatencyModel, superstep_cycles
+from repro.reorder import make_technique
+
+__all__ = ["WorkloadResult", "simulate_workload"]
+
+
+@dataclass
+class WorkloadResult:
+    """Outcome of one policy over the whole workload."""
+
+    policy: str
+    query_cycles: float = 0.0
+    reorder_cycles: float = 0.0
+    num_reorders: int = 0
+    per_epoch_query_cycles: list = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> float:
+        return self.query_cycles + self.reorder_cycles
+
+
+def simulate_workload(
+    initial_edges: np.ndarray,
+    num_vertices: int,
+    policies: list[ReorderPolicy],
+    technique: str = "DBG",
+    app_name: str = "PR",
+    num_epochs: int = 6,
+    batch_size: int = 4000,
+    add_fraction: float = 0.7,
+    queries_per_epoch: int = 4,
+    seed: int = 0,
+    hierarchy: HierarchyConfig = DEFAULT_HIERARCHY,
+    latencies: LatencyModel | None = None,
+    cost_model: ReorderCostModel | None = None,
+) -> list[WorkloadResult]:
+    """Race ``policies`` over one shared update/query stream."""
+    if app_name in ("SSSP", "BC"):
+        raise ValueError(
+            "root-dependent apps are not supported as dynamic query workloads;"
+            " use PR, PRD, Radii or CC"
+        )
+    latencies = latencies or LatencyModel()
+    cost_model = cost_model or ReorderCostModel()
+    app = make_app(app_name)
+    rng = np.random.default_rng(seed)
+
+    store = DynamicGraph(num_vertices, initial_edges)
+    results = {p.name: WorkloadResult(policy=p.name) for p in policies}
+    states: dict[str, dict] = {p.name: {} for p in policies}
+    #: policy name -> (reorder_epoch, mapping) currently in force.
+    active_mapping: dict[str, tuple[int, np.ndarray] | None] = {
+        p.name: None for p in policies
+    }
+    mapping_memo: dict[int, np.ndarray] = {}
+    query_cost_memo: dict[tuple[int, int], float] = {}
+
+    for epoch in range(num_epochs):
+        snapshot = store.snapshot()
+        degrees = store.degrees(app.reorder_degree_kind)
+
+        for policy in policies:
+            state = states[policy.name]
+            if policy.should_reorder(epoch, degrees, state):
+                if epoch not in mapping_memo:
+                    tech = make_technique(technique, app.reorder_degree_kind)
+                    mapping_memo[epoch] = tech.compute_mapping(snapshot)
+                active_mapping[policy.name] = (epoch, mapping_memo[epoch])
+                tech = make_technique(technique, app.reorder_degree_kind)
+                results[policy.name].reorder_cycles += cost_model.total_cycles(
+                    tech, snapshot
+                )
+                results[policy.name].num_reorders += 1
+                policy.mark_reordered(epoch, degrees, state)
+
+        for policy in policies:
+            current = active_mapping[policy.name]
+            reorder_epoch = current[0] if current else -1
+            key = (epoch, reorder_epoch)
+            if key not in query_cost_memo:
+                if current is None:
+                    graph = snapshot
+                else:
+                    graph = snapshot.relabel(current[1])
+                plan = app.plan(graph)
+                app_trace = app.trace(graph, plan)
+                stats = simulate_trace(app_trace.trace, hierarchy)
+                cycles = superstep_cycles(app_trace, stats, latencies)
+                query_cost_memo[key] = cycles * app_trace.superstep_multiplier
+            per_query = query_cost_memo[key]
+            results[policy.name].query_cycles += per_query * queries_per_epoch
+            results[policy.name].per_epoch_query_cycles.append(per_query)
+
+        if epoch < num_epochs - 1:
+            store.apply(make_batch(store, batch_size, add_fraction, rng))
+
+    return [results[p.name] for p in policies]

@@ -1,0 +1,79 @@
+"""An evolving directed graph over a fixed vertex set.
+
+Holds the live edge list; :meth:`DynamicGraph.snapshot` materializes the
+CSR the analytics run on.  Vertex count is fixed — the paper's dynamic
+sketch reasons about edge churn moving (or, mostly, *not* moving) the
+degree distribution, which a fixed ID space expresses cleanly and keeps
+every reordering mapping a valid permutation across time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.builder import from_edges
+from repro.graph.csr import Graph
+
+__all__ = ["DynamicGraph"]
+
+
+class DynamicGraph:
+    """Mutable edge set with CSR snapshotting."""
+
+    def __init__(self, num_vertices: int, edges: np.ndarray) -> None:
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        if edges.size and (edges.min() < 0 or edges.max() >= num_vertices):
+            raise ValueError("edge endpoint out of range")
+        self.num_vertices = int(num_vertices)
+        self._edges = edges.copy()
+        self._version = 0
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "DynamicGraph":
+        src, dst = graph.edge_array()
+        return cls(graph.num_vertices, np.stack([src, dst], axis=1))
+
+    @property
+    def num_edges(self) -> int:
+        return int(self._edges.shape[0])
+
+    @property
+    def version(self) -> int:
+        """Bumped on every applied batch; snapshots are keyed on it."""
+        return self._version
+
+    def edges(self) -> np.ndarray:
+        """A copy of the current (E, 2) edge array."""
+        return self._edges.copy()
+
+    def apply(self, batch) -> None:
+        """Apply an :class:`~repro.dynamic.stream.UpdateBatch` in place.
+
+        Removals are resolved by position against the *current* edge list
+        (the batch stores edge indices); additions are appended.
+        """
+        keep = np.ones(self.num_edges, dtype=bool)
+        if batch.remove_indices.size:
+            if batch.remove_indices.max() >= self.num_edges:
+                raise ValueError("removal index out of range")
+            keep[batch.remove_indices] = False
+        additions = batch.add_edges
+        if additions.size and (
+            additions.min() < 0 or additions.max() >= self.num_vertices
+        ):
+            raise ValueError("added edge endpoint out of range")
+        self._edges = np.concatenate([self._edges[keep], additions])
+        self._version += 1
+
+    def snapshot(self) -> Graph:
+        """Materialize the current CSR."""
+        return from_edges(self.num_vertices, self._edges)
+
+    def degrees(self, kind: str = "out") -> np.ndarray:
+        """Current degrees without building a full CSR."""
+        column = {"out": 0, "in": 1}.get(kind)
+        if column is None:
+            out = np.bincount(self._edges[:, 0], minlength=self.num_vertices)
+            inc = np.bincount(self._edges[:, 1], minlength=self.num_vertices)
+            return out + inc
+        return np.bincount(self._edges[:, column], minlength=self.num_vertices)

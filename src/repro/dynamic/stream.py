@@ -1,0 +1,75 @@
+"""Update-batch generation for the dynamic-graph study.
+
+Batches mix edge additions and removals.  Additions follow preferential
+attachment (endpoints drawn proportional to current degree + 1), the
+growth process behind power-law graphs — so the degree distribution's
+*shape* is preserved while individual degrees drift, exactly the regime
+the paper's Section VIII-B reasons about.  Removals sample uniformly from
+existing edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.dynamic.store import DynamicGraph
+from repro.graph.generators.powerlaw import sample_edges_by_weight
+
+__all__ = ["UpdateBatch", "update_stream"]
+
+
+@dataclass(frozen=True)
+class UpdateBatch:
+    """One batch of graph updates."""
+
+    add_edges: np.ndarray  #: (A, 2) new edges
+    remove_indices: np.ndarray  #: indices into the current edge list
+
+    @property
+    def size(self) -> int:
+        return int(self.add_edges.shape[0] + self.remove_indices.size)
+
+
+def make_batch(
+    store: DynamicGraph,
+    batch_size: int,
+    add_fraction: float,
+    rng: np.random.Generator,
+) -> UpdateBatch:
+    """Sample one batch against the store's current state."""
+    if not 0.0 <= add_fraction <= 1.0:
+        raise ValueError("add_fraction must be in [0, 1]")
+    num_add = int(round(batch_size * add_fraction))
+    num_remove = min(batch_size - num_add, store.num_edges)
+
+    weights = store.degrees("both").astype(np.float64) + 1.0
+    src = sample_edges_by_weight(weights, num_add, rng)
+    dst = sample_edges_by_weight(weights, num_add, rng)
+    add_edges = np.stack([src, dst], axis=1) if num_add else np.empty((0, 2), np.int64)
+
+    if num_remove:
+        remove = rng.choice(store.num_edges, size=num_remove, replace=False)
+    else:
+        remove = np.empty(0, dtype=np.int64)
+    return UpdateBatch(add_edges.astype(np.int64), remove.astype(np.int64))
+
+
+def update_stream(
+    store: DynamicGraph,
+    num_batches: int,
+    batch_size: int,
+    add_fraction: float = 0.7,
+    seed: int = 0,
+) -> Iterator[UpdateBatch]:
+    """Yield ``num_batches`` batches, each sampled against the live store.
+
+    The caller is expected to ``store.apply(batch)`` between ``next()``
+    calls — each batch's removal indices refer to the store state at
+    generation time.
+    """
+    rng = np.random.default_rng(seed)
+    for _ in range(num_batches):
+        yield make_batch(store, batch_size, add_fraction, rng)

@@ -1,0 +1,30 @@
+"""A Ligra-like shared-memory graph processing framework.
+
+The paper evaluates reordering on Ligra (Shun & Blelloch), a vertex-centric
+framework supporting pull- and push-based edge traversal with automatic
+direction switching.  This package reproduces that programming model in
+vectorised numpy:
+
+* :class:`~repro.framework.vertex_subset.VertexSubset` — Ligra's frontier
+  abstraction, with sparse and dense representations.
+* :func:`~repro.framework.engine.edge_map` — direction-optimizing edge
+  traversal over a frontier.
+* :mod:`~repro.framework.trace` — the memory-access trace emission that the
+  cache simulator consumes; it reproduces the address streams (Vertex,
+  Edge and Property arrays) described in the paper's Section II-B/II-C.
+"""
+
+from repro.framework.vertex_subset import VertexSubset
+from repro.framework.engine import edge_map, vertex_map, EdgeMapResult
+from repro.framework.trace import Region, TraceBuilder, MemoryTrace, AppTrace
+
+__all__ = [
+    "VertexSubset",
+    "edge_map",
+    "vertex_map",
+    "EdgeMapResult",
+    "Region",
+    "TraceBuilder",
+    "MemoryTrace",
+    "AppTrace",
+]

@@ -1,0 +1,81 @@
+"""Ligra's VertexSubset: a frontier of active vertices.
+
+A subset can be *sparse* (an array of vertex IDs) or *dense* (a boolean
+mask).  Ligra converts between the two based on frontier size — sparse
+frontiers drive push traversals, dense frontiers drive pull traversals —
+and :func:`repro.framework.engine.edge_map` makes the same choice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["VertexSubset"]
+
+
+class VertexSubset:
+    """An immutable set of active vertices out of ``num_vertices``."""
+
+    def __init__(self, num_vertices: int, ids=None, mask=None) -> None:
+        if (ids is None) == (mask is None):
+            raise ValueError("provide exactly one of ids / mask")
+        self.num_vertices = int(num_vertices)
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            if mask.shape != (self.num_vertices,):
+                raise ValueError("mask must have one entry per vertex")
+            self._mask = mask
+            self._ids = None
+        else:
+            ids = np.unique(np.asarray(ids, dtype=np.int64))
+            if ids.size and (ids[0] < 0 or ids[-1] >= num_vertices):
+                raise ValueError("vertex id out of range")
+            self._ids = ids
+            self._mask = None
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def single(cls, num_vertices: int, v: int) -> "VertexSubset":
+        """The frontier {v}."""
+        return cls(num_vertices, ids=np.array([v], dtype=np.int64))
+
+    @classmethod
+    def full(cls, num_vertices: int) -> "VertexSubset":
+        """All vertices active (e.g., every PageRank iteration)."""
+        return cls(num_vertices, mask=np.ones(num_vertices, dtype=bool))
+
+    @classmethod
+    def empty(cls, num_vertices: int) -> "VertexSubset":
+        return cls(num_vertices, ids=np.empty(0, dtype=np.int64))
+
+    # -- representations -------------------------------------------------
+    def ids(self) -> np.ndarray:
+        """Active vertex IDs, ascending (sparse representation)."""
+        if self._ids is None:
+            return np.flatnonzero(self._mask).astype(np.int64)
+        return self._ids
+
+    def mask(self) -> np.ndarray:
+        """Boolean mask over all vertices (dense representation)."""
+        if self._mask is None:
+            mask = np.zeros(self.num_vertices, dtype=bool)
+            mask[self._ids] = True
+            return mask
+        return self._mask
+
+    # -- queries ----------------------------------------------------------
+    def __len__(self) -> int:
+        if self._ids is not None:
+            return int(self._ids.size)
+        return int(self._mask.sum())
+
+    def is_empty(self) -> bool:
+        return len(self) == 0
+
+    def __contains__(self, v: int) -> bool:
+        if self._mask is not None:
+            return bool(self._mask[v])
+        return bool(np.isin(v, self._ids))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VertexSubset({len(self)}/{self.num_vertices})"

@@ -1,0 +1,38 @@
+"""Graph substrate: CSR representation, builders, generators and analytics.
+
+The paper represents graphs in Compressed Sparse Row (CSR) format with both
+in-edges (for pull-based computations) and out-edges (for push-based
+computations).  :class:`~repro.graph.csr.Graph` mirrors that layout with
+numpy-backed arrays.
+"""
+
+from repro.graph.csr import Graph
+from repro.graph.builder import from_edges, from_networkx, to_networkx
+from repro.graph.validate import ValidationReport, validate_graph
+from repro.graph.properties import (
+    average_degree,
+    hot_threshold,
+    hot_mask,
+    skew_summary,
+    hot_vertices_per_block,
+    hot_footprint_bytes,
+    hot_degree_distribution,
+    locality_score,
+)
+
+__all__ = [
+    "Graph",
+    "from_edges",
+    "from_networkx",
+    "to_networkx",
+    "average_degree",
+    "hot_threshold",
+    "hot_mask",
+    "skew_summary",
+    "hot_vertices_per_block",
+    "hot_footprint_bytes",
+    "hot_degree_distribution",
+    "locality_score",
+    "ValidationReport",
+    "validate_graph",
+]

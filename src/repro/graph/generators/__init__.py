@@ -1,0 +1,42 @@
+"""Synthetic graph generators standing in for the paper's datasets.
+
+The paper evaluates eight skewed datasets (Table IX) and two no-skew
+datasets (Table X).  We cannot redistribute or download them, so
+:mod:`repro.graph.generators.datasets` provides scaled-down synthetic
+analogs whose *relevant* properties — degree skew, community structure
+aligned with the original vertex order, and the ratio of hot-vertex
+footprint to simulated LLC capacity — are calibrated to the paper's
+characterization tables.
+"""
+
+from repro.graph.generators.rmat import rmat_graph, uniform_graph
+from repro.graph.generators.powerlaw import powerlaw_degree_sequence, chung_lu_graph
+from repro.graph.generators.community import community_graph
+from repro.graph.generators.road import road_graph
+from repro.graph.generators.datasets import (
+    DatasetSpec,
+    DATASETS,
+    SKEWED_DATASETS,
+    NO_SKEW_DATASETS,
+    STRUCTURED_DATASETS,
+    UNSTRUCTURED_DATASETS,
+    load_dataset,
+    dataset_table,
+)
+
+__all__ = [
+    "rmat_graph",
+    "uniform_graph",
+    "powerlaw_degree_sequence",
+    "chung_lu_graph",
+    "community_graph",
+    "road_graph",
+    "DatasetSpec",
+    "DATASETS",
+    "SKEWED_DATASETS",
+    "NO_SKEW_DATASETS",
+    "STRUCTURED_DATASETS",
+    "UNSTRUCTURED_DATASETS",
+    "load_dataset",
+    "dataset_table",
+]

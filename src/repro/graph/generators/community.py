@@ -1,0 +1,176 @@
+"""Community-structured power-law graphs.
+
+Real-world graph datasets "often feature clusters of highly interconnected
+vertices ... captured by vertex ordering within a graph dataset by placing
+vertices from the same community nearby in the memory space" (paper
+Section II-A).  This generator reproduces exactly that: vertices are grouped
+into contiguous-ID communities, a power-law degree sequence supplies the
+skew, and an ``intra_fraction`` of each vertex's edges stay inside its own
+community.  The original vertex order therefore carries spatio-temporal
+locality that reordering can destroy — the property the paper's structured
+datasets (lj, wl, fr, mp) exhibit and its Random-Reordering study (Fig. 3)
+quantifies.
+
+Two knobs calibrate a dataset analog:
+
+* ``intra_fraction`` — how much of the graph's connectivity respects the
+  community boundaries (higher ⇒ more structure ⇒ bigger slowdown when the
+  order is destroyed);
+* ``hub_grouping`` — how strongly high-degree vertices cluster at the front
+  of their community in the original order (higher ⇒ more hot vertices per
+  cache block in the baseline, Table II).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.builder import from_edges
+from repro.graph.csr import Graph
+from repro.graph.generators.powerlaw import (
+    powerlaw_degree_sequence,
+    sample_edges_by_weight,
+)
+
+__all__ = ["community_sizes", "community_graph"]
+
+
+def community_sizes(
+    num_vertices: int,
+    min_size: int,
+    max_size: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Power-law community sizes covering exactly ``num_vertices``."""
+    if min_size < 1 or max_size < min_size:
+        raise ValueError("need 1 <= min_size <= max_size")
+    sizes: list[int] = []
+    remaining = num_vertices
+    while remaining > 0:
+        # Pareto(1.5)-distributed sizes clipped to [min_size, max_size].
+        size = int(min_size * rng.random() ** (-1.0 / 1.5))
+        size = min(size, max_size, remaining)
+        sizes.append(size)
+        remaining -= size
+    return np.array(sizes, dtype=np.int64)
+
+
+def _group_hubs(
+    degrees: np.ndarray,
+    offsets: np.ndarray,
+    hub_grouping: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Permute degrees within each community so hubs cluster at the front.
+
+    ``hub_grouping`` in [0, 1] interpolates between a random within-community
+    order (0) and a strict degree-descending order (1) by sorting on a noisy
+    rank key.
+    """
+    if hub_grouping <= 0:
+        return degrees
+    out = degrees.copy()
+    num_communities = offsets.size - 1
+    for c in range(num_communities):
+        lo, hi = offsets[c], offsets[c + 1]
+        members = out[lo:hi]
+        size = members.size
+        if size <= 1:
+            continue
+        degree_rank = np.empty(size)
+        degree_rank[np.argsort(-members, kind="stable")] = np.arange(size)
+        noise_rank = rng.permutation(size)
+        key = hub_grouping * degree_rank + (1.0 - hub_grouping) * noise_rank
+        out[lo:hi] = members[np.argsort(key, kind="stable")]
+    return out
+
+
+def community_edge_stream(
+    num_vertices: int,
+    avg_degree: float,
+    exponent: float = 2.0,
+    intra_fraction: float = 0.6,
+    min_community: int = 24,
+    max_community: int = 512,
+    hub_grouping: float = 0.0,
+    max_degree_frac: float = 0.05,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The raw ``(src, dst, degrees)`` stream behind :func:`community_graph`.
+
+    Exposed separately so generation-integrated reordering (paper Section
+    VIII-A) can relabel the stream *before* the one and only CSR build.
+    """
+    if not 0.0 <= intra_fraction <= 1.0:
+        raise ValueError("intra_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    sizes = community_sizes(num_vertices, min_community, max_community, rng)
+    offsets = np.zeros(sizes.size + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    comm_of = np.repeat(np.arange(sizes.size, dtype=np.int64), sizes)
+
+    degrees = powerlaw_degree_sequence(
+        num_vertices, avg_degree, exponent, max_degree_frac, rng
+    )
+    degrees = _group_hubs(degrees, offsets, hub_grouping, rng)
+
+    intra_counts = rng.binomial(degrees, intra_fraction)
+    inter_counts = degrees - intra_counts
+
+    # Intra-community edges: sample per community from the community's own
+    # degree-weighted distribution.
+    intra_src_parts: list[np.ndarray] = []
+    intra_dst_parts: list[np.ndarray] = []
+    weights = degrees.astype(np.float64) + 0.5  # +0.5 lets degree-0 vertices be targets
+    for c in range(sizes.size):
+        lo, hi = offsets[c], offsets[c + 1]
+        count = int(intra_counts[lo:hi].sum())
+        if count == 0:
+            continue
+        members = np.arange(lo, hi, dtype=np.int64)
+        src = np.repeat(members, intra_counts[lo:hi])
+        dst = lo + sample_edges_by_weight(weights[lo:hi], count, rng)
+        intra_src_parts.append(src)
+        intra_dst_parts.append(dst)
+
+    inter_src = np.repeat(np.arange(num_vertices, dtype=np.int64), inter_counts)
+    inter_dst = sample_edges_by_weight(weights, inter_src.size, rng)
+
+    src = np.concatenate(intra_src_parts + [inter_src]) if intra_src_parts else inter_src
+    dst = np.concatenate(intra_dst_parts + [inter_dst]) if intra_dst_parts else inter_dst
+    return src, dst, degrees
+
+
+def community_graph(
+    num_vertices: int,
+    avg_degree: float,
+    exponent: float = 2.0,
+    intra_fraction: float = 0.6,
+    min_community: int = 24,
+    max_community: int = 512,
+    hub_grouping: float = 0.0,
+    max_degree_frac: float = 0.05,
+    seed: int = 0,
+) -> Graph:
+    """Generate a community-structured power-law graph.
+
+    Every vertex ``v`` emits ``degree[v]`` out-edges; an expected
+    ``intra_fraction`` of them target vertices of ``v``'s own community
+    (degree-weighted within the community), the rest target the whole graph
+    (degree-weighted globally).  Communities occupy contiguous vertex-ID
+    ranges, so the returned graph's *original ordering is the structured
+    ordering*.
+    """
+    src, dst, _ = community_edge_stream(
+        num_vertices,
+        avg_degree,
+        exponent,
+        intra_fraction,
+        min_community,
+        max_community,
+        hub_grouping,
+        max_degree_frac,
+        seed,
+    )
+    edges = np.stack([src, dst], axis=1)
+    return from_edges(num_vertices, edges, drop_self_loops=True)

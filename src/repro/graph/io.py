@@ -1,0 +1,89 @@
+"""Graph persistence: plain edge-list text files and compact ``.npz``.
+
+The ``.npz`` form stores the dual CSR directly so that expensive generated
+datasets (and their reordered variants) can be cached on disk between
+experiment runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.graph.builder import from_edges
+from repro.graph.csr import Graph
+
+__all__ = ["save_npz", "load_npz", "save_edge_list", "load_edge_list"]
+
+
+def save_npz(graph: Graph, path: str | os.PathLike) -> None:
+    """Save a graph's dual CSR (and weights, if any) to ``path``."""
+    arrays = {
+        "out_offsets": graph.out_offsets,
+        "out_targets": graph.out_targets,
+        "in_offsets": graph.in_offsets,
+        "in_sources": graph.in_sources,
+    }
+    if graph.is_weighted:
+        arrays["out_weights"] = graph.out_weights
+        arrays["in_weights"] = graph.in_weights
+    np.savez_compressed(path, **arrays)
+
+
+def load_npz(path: str | os.PathLike) -> Graph:
+    """Load a graph previously saved with :func:`save_npz`."""
+    with np.load(path) as data:
+        return Graph(
+            data["out_offsets"],
+            data["out_targets"],
+            data["in_offsets"],
+            data["in_sources"],
+            data["out_weights"] if "out_weights" in data else None,
+            data["in_weights"] if "in_weights" in data else None,
+        )
+
+
+def save_edge_list(graph: Graph, path: str | os.PathLike) -> None:
+    """Write ``src dst [weight]`` lines, one per edge, preceded by a header.
+
+    The header line is ``# num_vertices <n>`` so isolated vertices at the
+    high end of the ID range survive a round-trip.
+    """
+    src, dst = graph.edge_array()
+    with open(path, "w") as handle:
+        handle.write(f"# num_vertices {graph.num_vertices}\n")
+        if graph.is_weighted:
+            for s, d, w in zip(src.tolist(), dst.tolist(), graph.out_weights.tolist()):
+                handle.write(f"{s} {d} {w}\n")
+        else:
+            for s, d in zip(src.tolist(), dst.tolist()):
+                handle.write(f"{s} {d}\n")
+
+
+def load_edge_list(path: str | os.PathLike) -> Graph:
+    """Read a file written by :func:`save_edge_list` (or any src-dst list)."""
+    num_vertices = None
+    edges: list[tuple[int, int]] = []
+    weights: list[float] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line[1:].split()
+                if len(parts) == 2 and parts[0] == "num_vertices":
+                    num_vertices = int(parts[1])
+                continue
+            parts = line.split()
+            edges.append((int(parts[0]), int(parts[1])))
+            if len(parts) > 2:
+                weights.append(float(parts[2]))
+    edge_arr = np.array(edges, dtype=np.int64).reshape(-1, 2)
+    if num_vertices is None:
+        num_vertices = int(edge_arr.max()) + 1 if edge_arr.size else 0
+    weight_arr = np.array(weights) if weights else None
+    if weight_arr is not None and weight_arr.size != edge_arr.shape[0]:
+        raise ValueError("some edges have weights and some do not")
+    return from_edges(num_vertices, edge_arr, weight_arr)

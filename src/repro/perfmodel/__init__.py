@@ -1,0 +1,29 @@
+"""Analytical performance model.
+
+The paper reports wall-clock speedups on a 40-thread Broadwell server.  A
+pure-Python reproduction cannot time real cache effects (interpreter
+overhead swamps them), so runtimes are *modelled*: the cache simulator
+supplies per-level miss counts for a representative super-step, and
+:mod:`repro.perfmodel.timing` converts them into cycles with configurable
+hit/miss/snoop latencies and a memory-level-parallelism factor.  Reordering
+costs come from the operation-count model in :mod:`repro.perfmodel.cost`,
+expressed in the same cycle domain so that net speedups (Fig. 10/11) and
+amortization points (Table XII) are well-defined.
+"""
+
+from repro.perfmodel.timing import LatencyModel, superstep_cycles, runtime_cycles, speedup_pct
+from repro.perfmodel.cost import ReorderCostModel
+from repro.perfmodel.amortization import (
+    amortization_supersteps,
+    net_speedup_pct,
+)
+
+__all__ = [
+    "LatencyModel",
+    "superstep_cycles",
+    "runtime_cycles",
+    "speedup_pct",
+    "ReorderCostModel",
+    "amortization_supersteps",
+    "net_speedup_pct",
+]

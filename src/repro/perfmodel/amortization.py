@@ -1,0 +1,40 @@
+"""Amortization analysis: when does reordering pay for itself?
+
+Reordering is a preprocessing pass whose cost must be recovered through
+faster traversals.  The paper studies this two ways:
+
+* **net speed-up** (Fig. 10/11): speed-up over the baseline counting the
+  reordering time inside the reordered run's cost;
+* **amortization point** (Table XII): the minimum number of work units
+  (PageRank iterations, SSSP traversals) after which the reordered
+  execution, including reordering cost, beats the baseline.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["net_speedup_pct", "amortization_supersteps"]
+
+
+def net_speedup_pct(
+    baseline_cycles: float, cycles: float, reorder_cycles: float
+) -> float:
+    """Speed-up (%) counting the reordering cost against the reordered run."""
+    total = cycles + reorder_cycles
+    return (baseline_cycles / total - 1.0) * 100.0
+
+
+def amortization_supersteps(
+    baseline_unit_cycles: float, unit_cycles: float, reorder_cycles: float
+) -> float:
+    """Work units needed to amortize the reordering cost.
+
+    Solves ``n * baseline >= n * reordered + reorder_cost``.  Returns
+    ``inf`` when the reordered execution is not faster per unit (the cost
+    can never be amortized).
+    """
+    gain = baseline_unit_cycles - unit_cycles
+    if gain <= 0:
+        return math.inf
+    return reorder_cycles / gain

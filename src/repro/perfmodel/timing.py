@@ -1,0 +1,80 @@
+"""Cycle-level timing model driven by the cache simulator.
+
+``cycles = instructions * base_cpi
+         + (L1 misses served by L2) * l2_hit
+         + (L2 misses by service class) * {l3_hit, snoop_local,
+                                           snoop_remote, memory}``
+
+all miss penalties divided by ``mlp``, the effective memory-level
+parallelism of the out-of-order cores (graph traversals overlap several
+outstanding misses; the model is insensitive to the exact value since it
+scales baseline and reordered runs alike, but it keeps absolute speedup
+magnitudes in the paper's range).
+
+Latency defaults approximate the paper's Broadwell testbed (Section V-B):
+L2 ~12 cycles, LLC ~36, in-socket snoop ~60, cross-socket snoop ~110,
+DRAM ~200.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cachesim.hierarchy import CacheStats
+from repro.framework.trace import AppTrace
+
+__all__ = ["LatencyModel", "superstep_cycles", "runtime_cycles", "speedup_pct"]
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Per-event cycle costs (see module docstring)."""
+
+    base_cpi: float = 0.3
+    l2_hit: float = 12.0
+    l3_hit: float = 36.0
+    snoop_local: float = 60.0
+    snoop_remote: float = 110.0
+    memory: float = 200.0
+    mlp: float = 4.0
+
+
+DEFAULT_LATENCIES = LatencyModel()
+
+
+def superstep_cycles(
+    app_trace: AppTrace, stats: CacheStats, model: LatencyModel = DEFAULT_LATENCIES
+) -> float:
+    """Modelled cycles for the traced super-step."""
+    bd = stats.l2_miss_breakdown
+    l2_hits = stats.l1_misses - stats.l2_misses
+    penalty = (
+        l2_hits * model.l2_hit
+        + bd["l3_hit"] * model.l3_hit
+        + bd["snoop_local"] * model.snoop_local
+        + bd["snoop_remote"] * model.snoop_remote
+        + bd["offchip"] * model.memory
+    )
+    return app_trace.instructions * model.base_cpi + penalty / model.mlp
+
+
+def runtime_cycles(
+    app_trace: AppTrace,
+    stats: CacheStats,
+    model: LatencyModel = DEFAULT_LATENCIES,
+    traversals: int = 1,
+) -> float:
+    """Whole-application cycles: super-step cycles scaled by the plan's
+    work multiplier and, for root-dependent apps, the traversal count."""
+    return superstep_cycles(app_trace, stats, model) * app_trace.superstep_multiplier * traversals
+
+
+def speedup_pct(baseline_cycles: float, cycles: float) -> float:
+    """Speed-up of ``cycles`` over ``baseline_cycles`` in percent.
+
+    Positive = faster than baseline; negative = slowdown.  Matches the
+    paper's figures, where e.g. +16.8 means 16.8% faster.
+    """
+    if cycles <= 0:
+        raise ValueError("cycles must be positive")
+    return (baseline_cycles / cycles - 1.0) * 100.0

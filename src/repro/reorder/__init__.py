@@ -1,0 +1,51 @@
+"""Vertex reordering techniques (the paper's Sections III and IV).
+
+Every technique computes a relabelling ``mapping`` with ``mapping[v]`` the
+new ID of vertex ``v`` — a permutation of ``[0, num_vertices)`` — and the
+graph is then rebuilt around the new IDs.  Reordering never changes the
+graph itself, only the placement of per-vertex state in memory.
+
+Skew-aware techniques (Sort, HubSort, HubCluster, DBG) reorder using only
+vertex degrees; Gorder analyzes full vertex connectivity.  The paper's
+central result is that DBG is the only skew-aware technique that reduces
+the cache footprint of hot vertices *and* largely preserves the original
+graph structure, at the lowest reordering cost.
+"""
+
+from repro.reorder.base import ReorderingTechnique, ReorderResult, group_order_mapping
+from repro.reorder.identity import Original
+from repro.reorder.sort import Sort
+from repro.reorder.hubsort import HubSort, HubSortOriginal
+from repro.reorder.hubcluster import HubCluster, HubClusterOriginal
+from repro.reorder.dbg import DBG, dbg_boundaries, dbg_mapping
+from repro.reorder.random_order import RandomVertex, RandomCacheBlock
+from repro.reorder.gorder import Gorder
+from repro.reorder.traversal import BFSOrder, DFSOrder, ReverseCuthillMcKee
+from repro.reorder.community_order import CommunityOrder
+from repro.reorder.compose import Composed
+from repro.reorder.registry import TECHNIQUES, make_technique
+
+__all__ = [
+    "ReorderingTechnique",
+    "ReorderResult",
+    "group_order_mapping",
+    "Original",
+    "Sort",
+    "HubSort",
+    "HubSortOriginal",
+    "HubCluster",
+    "HubClusterOriginal",
+    "DBG",
+    "dbg_boundaries",
+    "dbg_mapping",
+    "RandomVertex",
+    "RandomCacheBlock",
+    "Gorder",
+    "BFSOrder",
+    "DFSOrder",
+    "ReverseCuthillMcKee",
+    "CommunityOrder",
+    "Composed",
+    "TECHNIQUES",
+    "make_technique",
+]

@@ -1,0 +1,55 @@
+"""Name-based construction of reordering techniques.
+
+The experiment layer and the CLI refer to techniques by the names the
+paper uses in its figures (``Sort``, ``HubSort``, ``HubCluster``, ``DBG``,
+``Gorder``, plus the ``-O`` original implementations and the random
+reorderings of Section III-B).
+"""
+
+from __future__ import annotations
+
+from repro.reorder.base import ReorderingTechnique
+from repro.reorder.dbg import DBG
+from repro.reorder.gorder import Gorder
+from repro.reorder.hubcluster import HubCluster, HubClusterOriginal
+from repro.reorder.hubsort import HubSort, HubSortOriginal
+from repro.reorder.identity import Original
+from repro.reorder.random_order import RandomCacheBlock, RandomVertex
+from repro.reorder.sort import Sort
+from repro.reorder.traversal import BFSOrder, DFSOrder, ReverseCuthillMcKee
+from repro.reorder.community_order import CommunityOrder
+
+__all__ = ["TECHNIQUES", "SKEW_AWARE", "make_technique"]
+
+#: Constructors for every technique, keyed by figure label.
+TECHNIQUES: dict[str, type[ReorderingTechnique] | object] = {
+    "Original": Original,
+    "Sort": Sort,
+    "HubSort": HubSort,
+    "HubSort-O": HubSortOriginal,
+    "HubCluster": HubCluster,
+    "HubCluster-O": HubClusterOriginal,
+    "DBG": DBG,
+    "Gorder": Gorder,
+    "RandomVertex": RandomVertex,
+    "BFS": BFSOrder,
+    "DFS": DFSOrder,
+    "RCM": ReverseCuthillMcKee,
+    "Community": CommunityOrder,
+}
+
+#: The paper's skew-aware comparison set (Fig. 6 et al.), in figure order.
+SKEW_AWARE = ["Sort", "HubSort", "HubCluster", "DBG"]
+
+
+def make_technique(name: str, degree_kind: str = "out", **kwargs) -> ReorderingTechnique:
+    """Instantiate a technique by its figure label.
+
+    ``RCB-n`` labels construct :class:`RandomCacheBlock` with granularity
+    ``n``; all other names look up :data:`TECHNIQUES`.
+    """
+    if name.startswith("RCB-"):
+        return RandomCacheBlock(int(name.split("-", 1)[1]), degree_kind, **kwargs)
+    if name not in TECHNIQUES:
+        raise KeyError(f"unknown technique {name!r}; known: {sorted(TECHNIQUES)}")
+    return TECHNIQUES[name](degree_kind, **kwargs)

@@ -1,0 +1,15 @@
+"""Standalone command-line utilities.
+
+* ``repro-reorder`` — reorder an edge-list or ``.npz`` graph file with any
+  registered technique and save the result plus the ID mapping.
+* ``repro-generate`` — emit one of the dataset analogs (or a custom
+  community/power-law graph) to disk.
+
+Both are thin wrappers over the library so downstream pipelines can adopt
+the reordering step without writing Python.
+"""
+
+from repro.tools.reorder_tool import main as reorder_main
+from repro.tools.generate_tool import main as generate_main
+
+__all__ = ["reorder_main", "generate_main"]

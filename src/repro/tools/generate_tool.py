@@ -1,0 +1,74 @@
+"""``repro-generate``: emit synthetic graphs to disk.
+
+Examples::
+
+    repro-generate sd -o sd.npz                    # a paper-dataset analog
+    repro-generate sd --scale 2.0 -o sd_big.txt    # scaled, as an edge list
+    repro-generate community --vertices 50000 --avg-degree 16 \\
+        --exponent 1.7 --intra 0.7 -o custom.npz   # custom community graph
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.graph.io import save_edge_list, save_npz
+from repro.graph.generators import DATASETS, community_graph, load_dataset
+from repro.graph.properties import skew_summary
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Generate a dataset analog or a custom community graph."
+    )
+    parser.add_argument(
+        "what",
+        help=f"dataset name ({', '.join(sorted(DATASETS))}) or 'community'",
+    )
+    parser.add_argument("-o", "--output", type=Path, required=True)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--weighted", action="store_true")
+    parser.add_argument("--seed", type=int, default=0)
+    # Custom community-graph knobs.
+    parser.add_argument("--vertices", type=int, default=10_000)
+    parser.add_argument("--avg-degree", type=float, default=16.0)
+    parser.add_argument("--exponent", type=float, default=1.8)
+    parser.add_argument("--intra", type=float, default=0.6)
+    parser.add_argument("--hub-grouping", type=float, default=0.0)
+    args = parser.parse_args(argv)
+
+    if args.what == "community":
+        graph = community_graph(
+            args.vertices,
+            args.avg_degree,
+            exponent=args.exponent,
+            intra_fraction=args.intra,
+            hub_grouping=args.hub_grouping,
+            seed=args.seed,
+        )
+    elif args.what in DATASETS:
+        graph = load_dataset(args.what, scale=args.scale, weighted=args.weighted)
+    else:
+        parser.error(
+            f"unknown target {args.what!r}; pick a dataset or 'community'"
+        )
+
+    if args.output.suffix == ".npz":
+        save_npz(graph, args.output)
+    else:
+        save_edge_list(graph, args.output)
+    skew = skew_summary(graph)
+    print(
+        f"{args.what}: {graph.num_vertices:,} vertices / {graph.num_edges:,} "
+        f"edges (hot {skew.hot_vertex_pct_out:.1f}% own "
+        f"{skew.edge_coverage_pct_out:.1f}% of edges) -> {args.output}"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,116 @@
+"""``repro-reorder``: apply a reordering technique to a graph file.
+
+Examples::
+
+    repro-reorder graph.txt --technique DBG -o graph.dbg.npz
+    repro-reorder graph.npz --technique HubCluster --degree in \\
+        --mapping-out mapping.npy --report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph.io import load_edge_list, load_npz, save_edge_list, save_npz
+from repro.graph.properties import hot_vertices_per_block, locality_score, skew_summary
+from repro.reorder import TECHNIQUES, make_technique
+
+__all__ = ["main"]
+
+
+def _load(path: Path):
+    if path.suffix == ".npz":
+        return load_npz(path)
+    return load_edge_list(path)
+
+
+def _save(graph, path: Path) -> None:
+    if path.suffix == ".npz":
+        save_npz(graph, path)
+    else:
+        save_edge_list(graph, path)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Reorder a graph file with a skew-aware or "
+        "structure-aware technique."
+    )
+    parser.add_argument("input", type=Path, help="edge-list (.txt) or .npz graph")
+    parser.add_argument(
+        "--technique",
+        default="DBG",
+        help=f"one of {sorted(TECHNIQUES)} or RCB-<n> (default: DBG)",
+    )
+    parser.add_argument(
+        "--degree",
+        default="out",
+        choices=("out", "in", "both"),
+        help="degree kind driving skew-aware techniques (paper Table VIII)",
+    )
+    parser.add_argument(
+        "-o", "--output", type=Path, default=None,
+        help="output graph path (.npz or edge list; default: <input>.<tech>.npz)",
+    )
+    parser.add_argument(
+        "--mapping-out", type=Path, default=None,
+        help="also save the old->new vertex mapping as .npy",
+    )
+    parser.add_argument(
+        "--report", action="store_true",
+        help="print skew/packing/locality before and after",
+    )
+    parser.add_argument(
+        "--validate", action="store_true",
+        help="check graph integrity before reordering (fails on corruption)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.input.exists():
+        parser.error(f"no such file: {args.input}")
+    try:
+        technique = make_technique(args.technique, args.degree)
+    except KeyError as exc:
+        parser.error(str(exc))
+
+    graph = _load(args.input)
+    if args.validate:
+        from repro.graph.validate import validate_graph
+
+        validation = validate_graph(graph)
+        for warning in validation.warnings:
+            print(f"warning: {warning}")
+        validation.raise_if_invalid()
+    result = technique.apply(graph)
+
+    output = args.output
+    if output is None:
+        output = args.input.with_suffix(f".{technique.name.lower()}.npz")
+    _save(result.graph, output)
+    print(
+        f"{technique.name}: {graph.num_vertices:,} vertices / "
+        f"{graph.num_edges:,} edges reordered in "
+        f"{result.total_seconds * 1e3:.1f} ms -> {output}"
+    )
+    if args.mapping_out:
+        np.save(args.mapping_out, result.mapping)
+        print(f"mapping -> {args.mapping_out}")
+
+    if args.report:
+        for label, g in (("before", graph), ("after", result.graph)):
+            skew = skew_summary(g)
+            print(
+                f"  {label:6s} hot%={skew.hot_vertex_pct_out:5.1f} "
+                f"coverage%={skew.edge_coverage_pct_out:5.1f} "
+                f"hot/block={hot_vertices_per_block(g):4.2f} "
+                f"locality={locality_score(g, 64):.3f}"
+            )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

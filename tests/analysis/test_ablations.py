@@ -1,0 +1,60 @@
+"""Small-scale structural tests for the ablation studies."""
+
+import pytest
+
+from repro.analysis import ablations
+from repro.analysis.diskcache import DiskCache
+from repro.analysis.experiments import ExperimentConfig, ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def runner(tmp_path_factory):
+    config = ExperimentConfig(scale=0.2, num_roots=1)
+    return ExperimentRunner(config, cache=DiskCache(tmp_path_factory.mktemp("abl")))
+
+
+class TestGroupSweep:
+    def test_shape_and_labels(self, runner):
+        result = ablations.dbg_group_sweep(runner, group_counts=(1, 6))
+        assert result["headers"] == ["dataset", "1 groups", "6 groups"]
+        assert result["rows"][-1][0] == "GMean"
+        assert len(result["rows"]) == 9
+
+    def test_more_groups_pack_better_on_unstructured(self, runner):
+        result = ablations.dbg_group_sweep(runner, group_counts=(1, 6))
+        by_dataset = {row[0]: row[1:] for row in result["rows"]}
+        assert by_dataset["sd"][1] > by_dataset["sd"][0]
+
+
+class TestThresholdSweep:
+    def test_labels(self, runner):
+        result = ablations.dbg_threshold_sweep(runner, scales=(0.5, 1.0))
+        assert result["headers"][1:] == ["x0.5", "x1.0"]
+
+
+class TestCacheScaleSweep:
+    def test_runs_with_distinct_hierarchies(self, runner):
+        result = ablations.cache_scale_sweep(
+            runner, factors=(1, 4), datasets=("sd",)
+        )
+        (row,) = result["rows"]
+        assert row[0] == "sd"
+        assert row[1] != row[2]
+
+
+class TestExtendedTechniques:
+    def test_includes_traversal_orderings(self, runner):
+        result = ablations.extended_techniques(
+            runner, techniques=("DBG", "RCM")
+        )
+        assert result["headers"][1:] == ["DBG", "RCM"]
+        assert result["rows"][-1][0] == "GMean"
+
+
+class TestExtensionApps:
+    def test_covers_both_apps(self, runner):
+        result = ablations.extension_apps(
+            runner, apps=("CC",), techniques=("DBG",)
+        )
+        datasets = {row[1] for row in result["rows"] if row[0] == "CC"}
+        assert len(datasets) == 8

@@ -1,0 +1,64 @@
+"""Tests for the ASCII bar-chart renderer."""
+
+from repro.analysis.charts import bar_chart, render_chart
+
+
+def sample_result():
+    return {
+        "title": "Demo figure",
+        "headers": ["dataset", "DBG", "Sort"],
+        "rows": [["kr", 20.0, 10.0], ["lj", 5.0, -12.5]],
+    }
+
+
+class TestBarChart:
+    def test_title_and_legend(self):
+        text = bar_chart(sample_result())
+        assert text.startswith("Demo figure")
+        assert "DBG" in text and "Sort" in text
+
+    def test_values_annotated(self):
+        text = bar_chart(sample_result())
+        assert "+20.0" in text
+        assert "-12.5" in text
+
+    def test_bar_lengths_proportional(self):
+        text = bar_chart(sample_result())
+        lines = [l for l in text.splitlines() if "█" in l and "|" in l]
+        dbg_kr = next(l for l in lines if "+20.0" in l)
+        dbg_lj = next(l for l in lines if "+5.0" in l)
+        assert dbg_kr.count("█") > dbg_lj.count("█") * 2
+
+    def test_negative_bars_grow_leftward(self):
+        text = bar_chart(sample_result())
+        negative = next(l for l in text.splitlines() if "-12.5" in l)
+        bar_part, _, _ = negative.partition("|")
+        assert "▓" in bar_part
+
+    def test_non_numeric_cells_skipped(self):
+        result = {
+            "title": "T",
+            "headers": ["d", "v", "note"],
+            "rows": [["a", 1.0, "n/a"]],
+        }
+        text = bar_chart(result)
+        assert "+1.0" in text
+
+    def test_empty_rows(self):
+        text = bar_chart({"title": "T", "headers": ["d", "v"], "rows": []})
+        assert text.startswith("T")
+
+
+class TestRenderChart:
+    def test_guesses_label_columns(self):
+        result = {
+            "title": "T",
+            "headers": ["app", "dataset", "DBG"],
+            "rows": [["PR", "kr", 3.0]],
+        }
+        text = render_chart(result)
+        assert "PR kr" in text
+
+    def test_all_label_row(self):
+        result = {"title": "T", "headers": ["a", "b"], "rows": [["x", "y"]]}
+        assert "x" in render_chart(result)

@@ -1,0 +1,39 @@
+"""Tests for the repro-experiments command line."""
+
+import pytest
+
+from repro.analysis.cli import ALL_ORDER, EXPERIMENTS, main
+
+
+class TestRegistry:
+    def test_all_order_covered(self):
+        assert set(ALL_ORDER) <= set(EXPERIMENTS)
+
+    def test_every_paper_artifact_registered(self):
+        for name in (
+            "table1", "table2", "table3", "table4", "table5", "table9_10",
+            "table11", "table12", "fig3", "fig5", "fig6", "fig7", "fig8",
+            "fig9", "fig10", "fig11", "gorder_dbg",
+        ):
+            assert name in EXPERIMENTS, name
+
+
+class TestMain:
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])
+
+    def test_runs_cheap_experiment(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code = main(["table5", "--scale", "0.2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Table V" in out
+        assert "HubCluster" in out
+
+    def test_multiple_experiments(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code = main(["table9_10", "table2", "--scale", "0.2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Tables IX/X" in out and "Table II" in out

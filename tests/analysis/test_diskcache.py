@@ -1,0 +1,53 @@
+"""Tests for the disk memoization layer."""
+
+import numpy as np
+
+from repro.analysis.diskcache import DiskCache
+
+
+class TestDiskCache:
+    def test_miss_returns_none(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        assert cache.get(("a", 1)) is None
+
+    def test_roundtrip(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.set(("a", 1), {"x": 2})
+        assert cache.get(("a", 1)) == {"x": 2}
+
+    def test_numpy_values(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.set("arr", np.arange(5))
+        assert np.array_equal(cache.get("arr"), np.arange(5))
+
+    def test_distinct_keys_distinct_slots(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.set(("k", 1), 1)
+        cache.set(("k", 2), 2)
+        assert cache.get(("k", 1)) == 1
+        assert cache.get(("k", 2)) == 2
+
+    def test_memoize_computes_once(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 42
+
+        assert cache.memoize("k", compute) == 42
+        assert cache.memoize("k", compute) == 42
+        assert len(calls) == 1
+
+    def test_corrupt_file_treated_as_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.set("k", 1)
+        for path in tmp_path.glob("*.pkl"):
+            path.write_bytes(b"not a pickle")
+        assert cache.get("k") is None
+
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        from repro.analysis.diskcache import default_cache_dir
+
+        assert default_cache_dir() == tmp_path / "custom"

@@ -1,0 +1,118 @@
+"""Tests for the experiment runner (small-scale, isolated cache)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.diskcache import DiskCache
+from repro.analysis.experiments import (
+    ExperimentConfig,
+    ExperimentRunner,
+    geomean_speedup,
+)
+
+
+@pytest.fixture
+def runner(tmp_path):
+    config = ExperimentConfig(scale=0.2, num_roots=1)
+    return ExperimentRunner(config, cache=DiskCache(tmp_path))
+
+
+class TestGeomean:
+    def test_matches_manual(self):
+        assert geomean_speedup([10.0, 10.0]) == pytest.approx(10.0)
+
+    def test_mixed_signs(self):
+        # 1.21 * (1/1.21) = 1 -> 0%.
+        down = (1 / 1.21 - 1) * 100
+        assert geomean_speedup([21.0, down]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_below_minus_100_rejected(self):
+        with pytest.raises(ValueError):
+            geomean_speedup([-100.0])
+
+
+class TestRunnerPlumbing:
+    def test_graph_memoized(self, runner):
+        assert runner.graph("lj") is runner.graph("lj")
+
+    def test_roots_deterministic_and_nontrivial(self, runner):
+        roots = runner.roots("lj")
+        assert roots == runner.roots("lj")
+        graph = runner.graph("lj")
+        for root in roots:
+            assert graph.out_degrees()[root] >= graph.average_degree()
+
+    def test_mapping_is_permutation(self, runner):
+        mapping = runner.mapping("lj", "DBG", "out")
+        n = runner.graph("lj").num_vertices
+        assert sorted(mapping.tolist()) == list(range(n))
+
+    def test_original_mapping_identity(self, runner):
+        mapping = runner.mapping("lj", "Original", "out")
+        assert np.array_equal(mapping, np.arange(mapping.size))
+
+
+class TestCells:
+    def test_cell_fields(self, runner):
+        cell = runner.cell("PR", "lj", "DBG")
+        assert cell.app == "PR" and cell.dataset == "lj" and cell.technique == "DBG"
+        assert cell.mpki["l1"] >= cell.mpki["l2"] >= cell.mpki["l3"] >= 0
+        assert cell.superstep_cycles > 0
+        assert cell.run_cycles >= cell.superstep_cycles
+        assert cell.reorder_cycles > 0
+
+    def test_original_has_no_reorder_cost(self, runner):
+        assert runner.cell("PR", "lj", "Original").reorder_cycles == 0.0
+
+    def test_cell_disk_memoized(self, runner, tmp_path):
+        first = runner.cell("PR", "lj", "Sort")
+        fresh_runner = ExperimentRunner(runner.config, cache=DiskCache(tmp_path))
+        second = fresh_runner.cell("PR", "lj", "Sort")
+        assert first.superstep_cycles == second.superstep_cycles
+
+    def test_root_app_cell(self, runner):
+        cell = runner.cell("SSSP", "lj", "DBG")
+        assert cell.run_cycles == pytest.approx(
+            cell.unit_cycles * runner.config.traversals
+        )
+
+    def test_breakdown_consistency(self, runner):
+        cell = runner.cell("PRD", "lj", "Original")
+        assert sum(cell.l2_breakdown.values()) == cell.l2_misses
+
+
+class TestSpeedups:
+    def test_original_speedup_zero(self, runner):
+        assert runner.speedup("PR", "lj", "Original") == pytest.approx(0.0)
+
+    def test_include_reorder_lowers_speedup(self, runner):
+        excl = runner.speedup("PR", "lj", "DBG")
+        incl = runner.speedup("PR", "lj", "DBG", include_reorder=True)
+        assert incl < excl
+
+    def test_traversal_override(self, runner):
+        one = runner.speedup("SSSP", "lj", "DBG", traversals=1)
+        many = runner.speedup("SSSP", "lj", "DBG", traversals=32)
+        # Excluding reorder cost the per-traversal ratio is constant.
+        assert one == pytest.approx(many)
+
+
+class TestDegreeKindOverride:
+    def test_at_label_pins_degree_kind(self, runner):
+        out_cell = runner.cell("PR", "lj", "DBG@out")
+        in_cell = runner.cell("PR", "lj", "DBG@in")
+        # Both are valid cells; PR's default kind is 'out', so the @out
+        # variant matches the plain label exactly.
+        plain = runner.cell("PR", "lj", "DBG")
+        assert out_cell.superstep_cycles == pytest.approx(plain.superstep_cycles)
+        assert in_cell.technique == "DBG@in"
+
+    def test_parameterized_dbg_labels(self, runner):
+        few = runner.cell("PR", "lj", "DBG-g2")
+        many = runner.cell("PR", "lj", "DBG-g9")
+        assert few.technique == "DBG-g2"
+        assert many.superstep_cycles > 0
+
+    def test_threshold_label(self, runner):
+        cell = runner.cell("PR", "lj", "DBG-t2.0")
+        assert cell.reorder_cycles > 0

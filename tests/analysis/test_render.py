@@ -1,0 +1,38 @@
+"""Tests for ASCII rendering."""
+
+from repro.analysis.render import ascii_table, render_result
+
+
+class TestAsciiTable:
+    def test_alignment(self):
+        out = ascii_table(["name", "value"], [["a", 1], ["bb", 22.5]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "22.5" in lines[-1]
+        assert set(lines[1]) == {"-"}
+
+    def test_none_rendered_as_dash(self):
+        out = ascii_table(["x"], [[None]])
+        assert "-" in out.splitlines()[-1]
+
+    def test_floats_one_decimal(self):
+        out = ascii_table(["x"], [[3.14159]])
+        assert "3.1" in out
+        assert "3.14" not in out
+
+
+class TestRenderResult:
+    def test_includes_title_and_notes(self):
+        result = {
+            "title": "My Table",
+            "headers": ["a"],
+            "rows": [[1]],
+            "notes": "shape note",
+        }
+        text = render_result(result)
+        assert text.startswith("My Table")
+        assert "shape note" in text
+
+    def test_notes_optional(self):
+        text = render_result({"title": "T", "headers": ["a"], "rows": [[1]]})
+        assert "T" in text

@@ -1,0 +1,46 @@
+"""Tests for markdown report generation."""
+
+import pytest
+
+from repro.analysis.diskcache import DiskCache
+from repro.analysis.experiments import ExperimentConfig, ExperimentRunner
+from repro.analysis.report import generate_report
+from repro.analysis import tables
+
+
+@pytest.fixture
+def runner(tmp_path):
+    return ExperimentRunner(
+        ExperimentConfig(scale=0.2, num_roots=1), cache=DiskCache(tmp_path)
+    )
+
+
+EXPERIMENTS = {"table2": tables.table2, "table5": tables.table5}
+
+
+class TestGenerateReport:
+    def test_writes_markdown(self, runner, tmp_path):
+        out = tmp_path / "report.md"
+        path = generate_report(runner, EXPERIMENTS, ["table2"], out)
+        text = path.read_text()
+        assert text.startswith("# Reproduction report")
+        assert "## Table II" in text
+        assert "```" in text
+
+    def test_multiple_sections_in_order(self, runner, tmp_path):
+        out = tmp_path / "report.md"
+        text = generate_report(
+            runner, EXPERIMENTS, ["table5", "table2"], out
+        ).read_text()
+        assert text.index("Table V") < text.index("Table II")
+
+    def test_notes_included(self, runner, tmp_path):
+        text = generate_report(
+            runner, EXPERIMENTS, ["table2"], tmp_path / "r.md"
+        ).read_text()
+        assert "footprint-reduction opportunity" in text
+
+    def test_unknown_experiment_rejected_before_work(self, runner, tmp_path):
+        with pytest.raises(KeyError):
+            generate_report(runner, EXPERIMENTS, ["nope"], tmp_path / "r.md")
+        assert not (tmp_path / "r.md").exists()

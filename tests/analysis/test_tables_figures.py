@@ -1,0 +1,147 @@
+"""Structural tests for table/figure generators at small scale.
+
+These verify shapes, headers and internal consistency; the full-scale
+paper-shape assertions live in tests/integration and the benchmark suite.
+"""
+
+import pytest
+
+from repro.analysis import figures, tables
+from repro.analysis.diskcache import DiskCache
+from repro.analysis.experiments import ExperimentConfig, ExperimentRunner
+from repro.analysis.render import render_result
+from repro.graph.generators import SKEWED_DATASETS
+
+
+@pytest.fixture(scope="module")
+def runner(tmp_path_factory):
+    config = ExperimentConfig(scale=0.2, num_roots=1)
+    return ExperimentRunner(
+        config, cache=DiskCache(tmp_path_factory.mktemp("cache"))
+    )
+
+
+class TestCharacterizationTables:
+    def test_table1_shape(self, runner):
+        result = tables.table1(runner)
+        assert len(result["rows"]) == 8
+        assert len(result["rows"][0]) == len(result["headers"])
+        render_result(result)  # must not raise
+
+    def test_table2_bounds(self, runner):
+        result = tables.table2(runner)
+        for row in result["rows"]:
+            assert 1.0 <= row[1] <= 8.0
+
+    def test_table3_ratios_positive(self, runner):
+        result = tables.table3(runner)
+        for row in result["rows"]:
+            assert row[1] > 0
+            # 16 B footprint is double the 8 B one (up to display rounding).
+            assert row[2] == pytest.approx(row[1] * 2, abs=0.2)
+
+    def test_table4_percentages_sum(self, runner):
+        result = tables.table4(runner)
+        total = sum(row[1] for row in result["rows"])
+        assert total == pytest.approx(100.0)
+
+    def test_table4_power_law_shape(self, runner):
+        rows = tables.table4(runner)["rows"]
+        # First (least-hot) bucket holds the most hot vertices.
+        assert rows[0][1] == max(row[1] for row in rows)
+
+    def test_table5_group_counts(self, runner):
+        result = tables.table5(runner)
+        by_name = {row[0]: row[1] for row in result["rows"]}
+        assert by_name["HubCluster"] == 2
+        assert by_name["Sort"] > by_name["HubSort"] >= by_name["HubCluster"]
+        assert by_name["DBG"] <= 10
+
+    def test_table9_10_lists_all(self, runner):
+        result = tables.table9_10(runner)
+        assert [row[0] for row in result["rows"]] == SKEWED_DATASETS + ["uni", "road"]
+
+
+class TestCostTables:
+    def test_table11_normalization(self, runner):
+        result = tables.table11(runner, repeats=1)
+        # Model columns: every technique's ratio to Sort is positive and
+        # HubCluster's is below HubSort-O's.
+        header = result["headers"]
+        hubsort_o_idx = header.index("HubSort-O model")
+        hubcluster_idx = header.index("HubCluster model")
+        for row in result["rows"]:
+            assert row[hubcluster_idx] < row[hubsort_o_idx]
+
+    def test_table12_dbg_amortizes_fastest_among_skew_aware(self, runner):
+        result = tables.table12(runner)
+        header = result["headers"]
+        for row in result["rows"]:
+            dbg = row[header.index("DBG")]
+            gorder = row[header.index("Gorder")]
+            assert isinstance(dbg, float)
+            if isinstance(gorder, float):
+                assert gorder > dbg
+
+
+class TestFigures:
+    def test_fig3_shape(self, runner):
+        result = figures.fig3(runner)
+        assert len(result["rows"]) == 8
+        assert result["headers"][1:] == ["RV", "RCB-1", "RCB-2", "RCB-4"]
+
+    def test_fig5_has_gmean_row(self, runner):
+        result = figures.fig5(runner)
+        assert result["rows"][-1][0] == "GMean"
+
+    def test_fig6_covers_grid(self, runner):
+        result = figures.fig6(runner)
+        data_rows = [r for r in result["rows"] if r[0] != "GMean"]
+        assert len(data_rows) == 5 * 8
+        gmean_rows = [r for r in result["rows"] if r[0] == "GMean"]
+        assert {r[1] for r in gmean_rows} == {"unstructured", "structured", "all"}
+
+    def test_fig7_no_skew_neutrality(self, runner):
+        result = figures.fig7(runner)
+        gmeans = {r[0]: r for r in result["rows"] if r[1] == "GMean"}
+        # uni reproduces the paper's near-zero effect tightly; road carries a
+        # positive bias at simulator scale (see EXPERIMENTS.md) but must not
+        # show the significant slowdowns the paper rules out.
+        for value in gmeans["uni"][2:6]:
+            assert abs(value) < 5.0
+        for value in gmeans["road"][2:6]:
+            assert value > -10.0
+
+    def test_fig8_levels(self, runner):
+        result = figures.fig8(runner)
+        levels = {row[0] for row in result["rows"]}
+        assert levels == {"L1", "L2", "L3"}
+
+    def test_fig9_original_rows_sum_to_100(self, runner):
+        result = figures.fig9(runner)
+        for row in result["rows"]:
+            if row[2] == "Original":
+                assert sum(row[3:]) == pytest.approx(100.0, abs=0.5)
+
+    def test_fig10_includes_reordering_cost(self, runner):
+        fig6 = figures.fig6(runner)
+        fig10 = figures.fig10(runner)
+        # Net speedups are never above the excluding-time speedups.
+        excl = {
+            (r[0], r[1]): dict(zip(fig6["headers"][2:], r[2:]))
+            for r in fig6["rows"]
+        }
+        for row in fig10["rows"]:
+            if row[0] == "GMean":
+                continue
+            for tech, value in zip(fig10["headers"][2:], row[2:]):
+                assert value <= excl[(row[0], row[1])][tech] + 1e-6
+
+    def test_fig11_improves_with_traversals(self, runner):
+        result = figures.fig11(runner)
+        gmeans = {
+            row[0]: row[2:] for row in result["rows"] if row[1] == "GMean"
+        }
+        for idx in range(len(result["headers"]) - 2):
+            series = [gmeans[count][idx] for count in (1, 8, 16, 32)]
+            assert series == sorted(series), "net speed-up must grow with traversals"

@@ -1,0 +1,146 @@
+"""Property-based invariants of the graph applications."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import (
+    BetweennessCentrality,
+    ConnectedComponents,
+    KCore,
+    PageRank,
+    Radii,
+    SSSP,
+)
+from repro.graph import from_edges
+
+
+@st.composite
+def random_graphs(draw, weighted=False):
+    n = draw(st.integers(min_value=2, max_value=40))
+    num_edges = draw(st.integers(min_value=1, max_value=150))
+    seed = draw(st.integers(min_value=0, max_value=5000))
+    rng = np.random.default_rng(seed)
+    edges = rng.integers(0, n, size=(num_edges, 2))
+    weights = rng.integers(1, 10, size=num_edges).astype(float) if weighted else None
+    return from_edges(n, edges, weights, drop_self_loops=True)
+
+
+class TestPageRankInvariants:
+    @given(random_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_ranks_form_a_distribution(self, graph):
+        ranks = PageRank(tolerance=1e-10).run(graph)["ranks"]
+        assert ranks.min() >= 0
+        assert ranks.sum() == np.float64(1.0) or abs(ranks.sum() - 1.0) < 1e-8
+
+    @given(random_graphs())
+    @settings(max_examples=20, deadline=None)
+    def test_minimum_rank_is_base_share(self, graph):
+        """Every vertex keeps at least the teleport share (1-d)/n."""
+        app = PageRank(damping=0.85, tolerance=1e-10)
+        ranks = app.run(graph)["ranks"]
+        n = graph.num_vertices
+        assert ranks.min() >= (1 - 0.85) / n - 1e-12
+
+
+class TestSsspInvariants:
+    @given(random_graphs(weighted=True))
+    @settings(max_examples=30, deadline=None)
+    def test_no_relaxable_edge_remains(self, graph):
+        """At a fixed point, d[v] <= d[u] + w for every edge (u, v, w)."""
+        dist = SSSP().run(graph, root=0)["distances"]
+        src, dst = graph.edge_array()
+        weights = graph.out_weights
+        lhs = dist[dst]
+        rhs = dist[src] + weights
+        assert np.all(lhs <= rhs + 1e-9)
+
+    @given(random_graphs(weighted=True))
+    @settings(max_examples=20, deadline=None)
+    def test_reachability_matches_bfs(self, graph):
+        dist = SSSP().run(graph, root=0)["distances"]
+        # Reachable exactly when a directed path exists.
+        reachable = {0}
+        frontier = [0]
+        while frontier:
+            nxt = []
+            for v in frontier:
+                for u in graph.out_neighbors(v).tolist():
+                    if u not in reachable:
+                        reachable.add(u)
+                        nxt.append(u)
+            frontier = nxt
+        for v in range(graph.num_vertices):
+            assert np.isfinite(dist[v]) == (v in reachable)
+
+
+class TestBcInvariants:
+    @given(random_graphs())
+    @settings(max_examples=20, deadline=None)
+    def test_path_counts_nonnegative_and_root_one(self, graph):
+        result = BetweennessCentrality().run(graph, root=0)
+        assert result["num_paths"][0] == 1.0
+        assert np.all(result["num_paths"] >= 0)
+        assert np.all(result["dependencies"] >= -1e-12)
+
+    @given(random_graphs())
+    @settings(max_examples=20, deadline=None)
+    def test_levels_consistent_with_paths(self, graph):
+        result = BetweennessCentrality().run(graph, root=0)
+        levels, paths = result["levels"], result["num_paths"]
+        assert np.all((levels >= 0) == (paths > 0))
+
+
+class TestRadiiInvariants:
+    @given(random_graphs())
+    @settings(max_examples=20, deadline=None)
+    def test_radii_bounded_by_rounds(self, graph):
+        result = Radii(num_samples=min(16, graph.num_vertices)).run(graph)
+        assert result["radii"].max() <= result["rounds"]
+        assert np.all(result["radii"] >= -1)
+
+
+class TestComponentsInvariants:
+    @given(random_graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_labels_are_fixed_point(self, graph):
+        """No edge may connect two different labels (weak connectivity)."""
+        labels = ConnectedComponents().run(graph)["labels"]
+        src, dst = graph.edge_array()
+        assert np.all(labels[src] == labels[dst])
+
+    @given(random_graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_labels_are_component_minima(self, graph):
+        labels = ConnectedComponents().run(graph)["labels"]
+        for label in np.unique(labels):
+            members = np.flatnonzero(labels == label)
+            assert label == members.min()
+
+
+class TestKCoreInvariants:
+    @given(random_graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_coreness_bounded_by_degree(self, graph):
+        coreness = KCore().run(graph)["coreness"]
+        assert np.all(coreness <= graph.degrees("both"))
+        assert np.all(coreness >= 0)
+
+    @given(random_graphs())
+    @settings(max_examples=20, deadline=None)
+    def test_k_core_subgraph_property(self, graph):
+        """Inside the max-core, every vertex keeps >= k neighbours."""
+        result = KCore().run(graph)
+        k = result["max_core"]
+        core = np.flatnonzero(result["coreness"] >= k)
+        if core.size == 0 or k == 0:
+            return
+        in_core = np.zeros(graph.num_vertices, dtype=bool)
+        in_core[core] = True
+        src, dst = graph.edge_array()
+        keep = in_core[src] & in_core[dst]
+        degree = np.bincount(src[keep], minlength=graph.num_vertices) + np.bincount(
+            dst[keep], minlength=graph.num_vertices
+        )
+        assert np.all(degree[core] >= k)

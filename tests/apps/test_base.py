@@ -1,0 +1,121 @@
+"""Unit tests for shared application machinery (plans, gather, interleave)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import PageRank, make_app
+from repro.apps.base import GraphApp, SuperStep, TracePlan, core_of_vertices
+from repro.graph import from_edges
+from tests.conftest import make_random_graph
+
+
+class TestInterleaveOffsets:
+    def test_empty(self):
+        assert GraphApp._interleave_offsets(np.empty(0, dtype=np.int16)).size == 0
+
+    def test_single_core_within_quantum_is_flat(self):
+        cores = np.zeros(100, dtype=np.int16)
+        offsets = GraphApp._interleave_offsets(cores)
+        assert np.all(offsets == 0.0)
+
+    def test_quantum_boundaries_shift_time(self):
+        from repro.apps.base import INTERLEAVE_QUANTUM
+
+        cores = np.zeros(INTERLEAVE_QUANTUM * 2, dtype=np.int16)
+        offsets = GraphApp._interleave_offsets(cores)
+        assert offsets[INTERLEAVE_QUANTUM - 1] == 0.0
+        assert offsets[INTERLEAVE_QUANTUM] > 0.0
+
+    def test_cores_progress_in_lockstep(self):
+        """The k-th quantum of every core lands in the same time slice."""
+        from repro.apps.base import INTERLEAVE_QUANTUM
+
+        half = INTERLEAVE_QUANTUM + 10
+        cores = np.repeat([0, 1], half).astype(np.int16)
+        offsets = GraphApp._interleave_offsets(cores)
+        # First quantum of core 1 shares slice 0 with core 0's first.
+        assert offsets[half] == offsets[0]
+        # Second quanta also align.
+        assert offsets[INTERLEAVE_QUANTUM] == offsets[half + INTERLEAVE_QUANTUM]
+
+
+class TestGather:
+    def test_pull_gathers_in_edges(self):
+        g = from_edges(4, np.array([(0, 2), (1, 2), (3, 2)]))
+        app = PageRank()
+        ids, lengths, positions, srcs = app._gather(g, np.array([2]), "pull")
+        assert ids.tolist() == [2]
+        assert lengths.tolist() == [3]
+        assert sorted(srcs.tolist()) == [0, 1, 3]
+
+    def test_push_gathers_out_edges(self):
+        g = from_edges(4, np.array([(2, 0), (2, 1), (2, 3)]))
+        app = PageRank()
+        ids, lengths, positions, dsts = app._gather(g, np.array([2]), "push")
+        assert sorted(dsts.tolist()) == [0, 1, 3]
+
+    def test_active_none_means_all(self):
+        g = make_random_graph(num_vertices=20, num_edges=80, seed=9)
+        app = PageRank()
+        ids, lengths, positions, srcs = app._gather(g, None, "pull")
+        assert ids.size == 20
+        assert positions.size == g.num_edges
+
+    def test_empty_active(self):
+        g = make_random_graph(num_vertices=20, num_edges=80, seed=9)
+        app = PageRank()
+        ids, lengths, positions, srcs = app._gather(
+            g, np.empty(0, dtype=np.int64), "pull"
+        )
+        assert positions.size == 0
+
+
+class TestTracePlan:
+    def test_multiplier(self):
+        steps = (
+            SuperStep("push", np.array([0]), 10),
+            SuperStep("push", np.array([1]), 30),
+        )
+        plan = TracePlan("x", steps, representative=1, total_edges=40)
+        assert plan.traced is steps[1]
+        assert plan.multiplier == pytest.approx(40 / 30)
+
+    def test_remap_preserves_none_active(self):
+        plan = TracePlan("x", (SuperStep("pull", None, 5),), 0, 5)
+        remapped = plan.remap(np.array([1, 0]))
+        assert remapped.traced.active is None
+
+    def test_remap_sorts_ids(self):
+        plan = TracePlan("x", (SuperStep("push", np.array([0, 1]), 5),), 0, 5)
+        mapping = np.array([5, 2, 0, 1, 3, 4])
+        remapped = plan.remap(mapping)
+        assert remapped.traced.active.tolist() == [2, 5]
+
+    def test_remap_keeps_write_fraction(self):
+        plan = TracePlan(
+            "x", (SuperStep("push", np.array([0]), 5, write_fraction=0.25),), 0, 5
+        )
+        assert plan.remap(np.arange(3)).traced.write_fraction == 0.25
+
+
+class TestCoreOfVertices:
+    def test_covers_all_cores(self):
+        cores = core_of_vertices(np.arange(1000), 1000)
+        assert cores.min() == 0
+        assert cores.max() == 39
+
+    def test_empty_graph_guard(self):
+        assert core_of_vertices(np.empty(0, dtype=np.int64), 0).size == 0
+
+
+class TestTraceDeterminism:
+    @pytest.mark.parametrize("app_name", ["PR", "Radii", "PRD"])
+    def test_trace_is_deterministic(self, app_name):
+        g = make_random_graph(num_vertices=60, num_edges=400, seed=2)
+        app = make_app(app_name)
+        plan = app.plan(g)
+        a = app.trace(g, plan)
+        b = app.trace(g, plan)
+        assert np.array_equal(a.trace.blocks, b.trace.blocks)
+        assert np.array_equal(a.trace.writes, b.trace.writes)
+        assert a.instructions == b.instructions

@@ -1,0 +1,97 @@
+"""Betweenness Centrality correctness against networkx (Brandes)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps import BetweennessCentrality
+from repro.graph import from_networkx
+from tests.conftest import make_random_graph
+
+
+def networkx_dependencies(nxg, root):
+    """Brandes single-source dependency accumulation (reference)."""
+    import collections
+
+    n = nxg.number_of_nodes()
+    sigma = dict.fromkeys(nxg, 0.0)
+    dist = dict.fromkeys(nxg, -1)
+    preds = {v: [] for v in nxg}
+    sigma[root] = 1.0
+    dist[root] = 0
+    queue = collections.deque([root])
+    stack = []
+    while queue:
+        v = queue.popleft()
+        stack.append(v)
+        for w in nxg.successors(v):
+            if dist[w] < 0:
+                dist[w] = dist[v] + 1
+                queue.append(w)
+            if dist[w] == dist[v] + 1:
+                sigma[w] += sigma[v]
+                preds[w].append(v)
+    delta = dict.fromkeys(nxg, 0.0)
+    while stack:
+        w = stack.pop()
+        for v in preds[w]:
+            delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w])
+    return sigma, dist, delta
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_brandes_reference(self, seed):
+        nxg = nx.gnp_random_graph(40, 0.1, seed=seed, directed=True)
+        g = from_networkx(nxg)
+        result = BetweennessCentrality().run(g, root=0)
+        sigma, dist, delta = networkx_dependencies(nxg, 0)
+        for v in range(40):
+            assert result["num_paths"][v] == pytest.approx(sigma[v])
+            assert result["levels"][v] == dist[v]
+            assert result["dependencies"][v] == pytest.approx(delta[v])
+
+    def test_path_graph(self):
+        nxg = nx.DiGraph([(0, 1), (1, 2), (2, 3)])
+        g = from_networkx(nxg)
+        result = BetweennessCentrality().run(g, root=0)
+        # Dependencies on a path: vertex v carries all paths through it.
+        assert result["dependencies"].tolist() == [3.0, 2.0, 1.0, 0.0]
+
+    def test_diamond_splits_paths(self):
+        nxg = nx.DiGraph([(0, 1), (0, 2), (1, 3), (2, 3)])
+        g = from_networkx(nxg)
+        result = BetweennessCentrality().run(g, root=0)
+        assert result["num_paths"][3] == 2.0
+        # Brandes: delta[1] = sigma[1]/sigma[3] * (1 + delta[3]) = 1/2.
+        assert result["dependencies"][1] == pytest.approx(0.5)
+        assert result["dependencies"][2] == pytest.approx(0.5)
+        assert result["dependencies"][0] == pytest.approx(3.0)
+
+    def test_unreachable_level_minus_one(self):
+        nxg = nx.DiGraph([(0, 1)])
+        nxg.add_node(2)
+        g = from_networkx(nxg)
+        result = BetweennessCentrality().run(g, root=0)
+        assert result["levels"][2] == -1
+
+
+class TestInvariance:
+    def test_invariant_under_relabel(self):
+        g = make_random_graph(num_vertices=30, num_edges=150, seed=4)
+        mapping = np.random.default_rng(5).permutation(g.num_vertices)
+        relabelled = g.relabel(mapping)
+        base = BetweennessCentrality().run(g, root=2)
+        moved = BetweennessCentrality().run(relabelled, root=int(mapping[2]))
+        assert np.allclose(base["dependencies"], moved["dependencies"][mapping])
+
+
+class TestPlan:
+    def test_representative_is_largest_level(self, small_graph):
+        plan = BetweennessCentrality().run(small_graph, root=0)["plan"]
+        assert plan.traced.edges == max(s.edges for s in plan.supersteps)
+
+    def test_total_includes_backward_phase(self, small_graph):
+        plan = BetweennessCentrality().run(small_graph, root=0)["plan"]
+        forward = sum(s.edges for s in plan.supersteps)
+        assert plan.total_edges >= forward

@@ -1,0 +1,72 @@
+"""Tests for the direction-optimizing BFS extension application."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps.bfs import BFS
+from repro.graph import from_edges, from_networkx
+from tests.conftest import make_random_graph
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_levels_match_networkx(self, seed):
+        nxg = nx.gnp_random_graph(60, 0.06, seed=seed, directed=True)
+        g = from_networkx(nxg)
+        result = BFS().run(g, root=0)
+        reference = nx.single_source_shortest_path_length(nxg, 0)
+        for v in range(60):
+            assert result["levels"][v] == reference.get(v, -1)
+
+    def test_parents_form_a_valid_tree(self):
+        g = make_random_graph(num_vertices=50, num_edges=300, seed=4)
+        result = BFS().run(g, root=0)
+        levels, parents = result["levels"], result["parents"]
+        assert parents[0] == -1
+        for v in range(50):
+            if levels[v] > 0:
+                p = parents[v]
+                assert levels[p] == levels[v] - 1
+                assert v in g.out_neighbors(p)
+
+    def test_unreachable(self):
+        g = from_edges(4, np.array([(0, 1)]))
+        result = BFS().run(g, root=0)
+        assert result["levels"].tolist() == [0, 1, -1, -1]
+        assert result["parents"][2] == -1
+
+    def test_single_vertex(self):
+        g = from_edges(1, np.empty((0, 2)))
+        result = BFS().run(g, root=0)
+        assert result["rounds"] >= 0
+        assert result["levels"][0] == 0
+
+
+class TestDirectionSwitching:
+    def test_switches_on_power_law_graph(self):
+        """On a skewed graph BFS should use both directions."""
+        from repro.graph.generators import load_dataset
+
+        g = load_dataset("pl", scale=0.3)
+        roots = np.flatnonzero(g.out_degrees() > 0)
+        result = BFS().run(g, root=int(roots[0]))
+        directions = {s.direction for s in result["plan"].supersteps}
+        assert directions == {"push", "pull"}
+
+    def test_plan_traceable_in_both_directions(self):
+        g = make_random_graph(num_vertices=80, num_edges=600, seed=6)
+        app = BFS()
+        result = app.run(g, root=0)
+        trace = app.trace(g, result["plan"])
+        assert trace.instructions > 0
+        assert trace.superstep_multiplier >= 1.0
+
+
+class TestInvariance:
+    def test_levels_invariant_under_relabel(self):
+        g = make_random_graph(num_vertices=40, num_edges=250, seed=8)
+        mapping = np.random.default_rng(9).permutation(g.num_vertices)
+        base = BFS().run(g, root=3)["levels"]
+        moved = BFS().run(g.relabel(mapping), root=int(mapping[3]))["levels"]
+        assert np.array_equal(base, moved[mapping])

@@ -1,0 +1,125 @@
+"""Tests for the extension applications (CC, KCore)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps import ConnectedComponents, KCore, make_app
+from repro.apps.registry import EXTENSION_APPS
+from repro.graph import from_edges, from_networkx
+from tests.conftest import make_random_graph
+
+
+class TestConnectedComponents:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_networkx_weak_components(self, seed):
+        nxg = nx.gnp_random_graph(60, 0.03, seed=seed, directed=True)
+        g = from_networkx(nxg)
+        result = ConnectedComponents().run(g)
+        assert result["num_components"] == nx.number_weakly_connected_components(nxg)
+        # Vertices in the same component share a label and vice versa.
+        for component in nx.weakly_connected_components(nxg):
+            labels = {int(result["labels"][v]) for v in component}
+            assert len(labels) == 1
+
+    def test_labels_are_component_minima(self):
+        g = from_edges(6, np.array([(1, 2), (2, 3), (4, 5)]))
+        labels = ConnectedComponents().run(g)["labels"]
+        assert labels.tolist() == [0, 1, 1, 1, 4, 4]
+
+    def test_isolated_vertices_are_own_components(self):
+        g = from_edges(4, np.array([(0, 1)]))
+        assert ConnectedComponents().run(g)["num_components"] == 3
+
+    def test_invariant_under_relabel(self, small_graph):
+        g = small_graph
+        mapping = np.random.default_rng(3).permutation(g.num_vertices)
+        base = ConnectedComponents().run(g)
+        moved = ConnectedComponents().run(g.relabel(mapping))
+        assert base["num_components"] == moved["num_components"]
+
+    def test_plan_has_dense_pull_steps(self, small_graph):
+        plan = ConnectedComponents().run(small_graph)["plan"]
+        assert all(s.direction == "pull" and s.active is None for s in plan.supersteps)
+
+
+def reference_coreness(num_vertices, src, dst):
+    """Multigraph-semantics peeling reference (matches KCore's degree model)."""
+    import collections
+
+    adjacency = collections.defaultdict(list)
+    degree = [0] * num_vertices
+    for u, v in zip(src.tolist(), dst.tolist()):
+        adjacency[u].append(v)
+        adjacency[v].append(u)
+        degree[u] += 1
+        degree[v] += 1
+    alive = [True] * num_vertices
+    coreness = [0] * num_vertices
+    k = 0
+    remaining = num_vertices
+    while remaining:
+        peel = [v for v in range(num_vertices) if alive[v] and degree[v] <= k]
+        if not peel:
+            k += 1
+            continue
+        for v in peel:
+            alive[v] = False
+            coreness[v] = k
+            remaining -= 1
+            for u in adjacency[v]:
+                degree[u] -= 1
+    return coreness
+
+
+class TestKCore:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_reference_peeling(self, seed):
+        g = make_random_graph(num_vertices=50, num_edges=200, seed=seed)
+        src, dst = g.edge_array()
+        expected = reference_coreness(50, src, dst)
+        result = KCore().run(g)
+        assert result["coreness"].tolist() == expected
+
+    def test_matches_networkx_on_simple_graph(self):
+        # One direction per pair and no self loops: our multigraph degrees
+        # coincide with networkx's simple-graph degrees.
+        nxg = nx.gnp_random_graph(40, 0.1, seed=5)  # undirected simple
+        edges = np.array([(u, v) for u, v in nxg.edges()])
+        g = from_edges(40, edges)
+        result = KCore().run(g)
+        expected = nx.core_number(nxg)
+        for v in range(40):
+            assert result["coreness"][v] == expected[v]
+
+    def test_clique_with_tail(self):
+        # 4-clique (directed both ways) plus a pendant chain.
+        clique = [(a, b) for a in range(4) for b in range(4) if a != b]
+        tail = [(3, 4), (4, 5)]
+        g = from_edges(6, np.array(clique + tail))
+        coreness = KCore().run(g)["coreness"]
+        assert coreness[5] <= coreness[4] <= coreness[3]
+        assert coreness[0] == coreness[1] == coreness[2]
+
+    def test_empty_graph(self):
+        g = from_edges(0, np.empty((0, 2)))
+        assert KCore().run(g)["max_core"] == 0
+
+    def test_invariant_under_relabel(self, small_graph):
+        g = small_graph
+        mapping = np.random.default_rng(6).permutation(g.num_vertices)
+        base = KCore().run(g)["coreness"]
+        moved = KCore().run(g.relabel(mapping))["coreness"]
+        assert np.array_equal(base, moved[mapping])
+
+    def test_plan_traceable(self, small_graph):
+        app = KCore()
+        plan = app.run(small_graph)["plan"]
+        trace = app.trace(small_graph, plan)
+        assert trace.instructions > 0
+
+
+class TestRegistry:
+    def test_extension_apps_registered(self):
+        for name in EXTENSION_APPS:
+            assert make_app(name).name == name

@@ -1,0 +1,68 @@
+"""PageRank correctness against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps import PageRank
+from repro.graph import from_networkx
+from tests.conftest import make_random_graph
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_networkx(self, seed):
+        nxg = nx.gnp_random_graph(50, 0.12, seed=seed, directed=True)
+        g = from_networkx(nxg)
+        ours = PageRank(damping=0.85, tolerance=1e-12, max_iterations=300).run(g)
+        reference = nx.pagerank(nxg, alpha=0.85, tol=1e-12, max_iter=300)
+        for v in range(50):
+            assert ours["ranks"][v] == pytest.approx(reference[v], abs=1e-6)
+
+    def test_ranks_sum_to_one(self, small_graph):
+        result = PageRank().run(small_graph)
+        assert result["ranks"].sum() == pytest.approx(1.0)
+
+    def test_star_graph_center_ranks_highest(self):
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from(range(10))
+        nxg.add_edges_from((i, 0) for i in range(1, 10))
+        g = from_networkx(nxg)
+        ranks = PageRank().run(g)["ranks"]
+        assert ranks.argmax() == 0
+
+    def test_dangling_vertices_handled(self):
+        # Vertex 2 has no out-edges; rank mass must not leak.
+        g = from_networkx(nx.DiGraph([(0, 1), (1, 2)]))
+        ranks = PageRank().run(g)["ranks"]
+        assert ranks.sum() == pytest.approx(1.0)
+
+    def test_empty_graph(self):
+        from repro.graph import from_edges
+
+        g = from_edges(0, np.empty((0, 2)))
+        result = PageRank().run(g)
+        assert result["iterations"] == 0
+
+
+class TestInvariance:
+    def test_ranks_invariant_under_relabel(self, small_graph):
+        g = small_graph
+        mapping = np.random.default_rng(3).permutation(g.num_vertices)
+        relabelled = g.relabel(mapping)
+        base = PageRank(tolerance=1e-12).run(g)["ranks"]
+        moved = PageRank(tolerance=1e-12).run(relabelled)["ranks"]
+        assert np.allclose(base, moved[mapping], atol=1e-9)
+
+
+class TestPlan:
+    def test_plan_reflects_iterations(self, small_graph):
+        result = PageRank().run(small_graph)
+        plan = result["plan"]
+        assert plan.multiplier == pytest.approx(result["iterations"])
+        assert plan.traced.direction == "pull"
+        assert plan.traced.active is None
+
+    def test_max_iterations_respected(self, small_graph):
+        result = PageRank(max_iterations=3, tolerance=0).run(small_graph)
+        assert result["iterations"] == 3

@@ -1,0 +1,54 @@
+"""PageRank-Delta behaviour tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps import PageRank, PageRankDelta
+from tests.conftest import make_random_graph
+
+
+class TestCorrectness:
+    def test_converges_to_pagerank(self, small_graph):
+        pr = PageRank(tolerance=1e-12).run(small_graph)["ranks"]
+        prd = PageRankDelta(epsilon=1e-7, max_iterations=300).run(small_graph)["ranks"]
+        # PRD skips the dangling-mass redistribution PR applies, so compare
+        # after renormalizing.
+        assert np.allclose(pr / pr.sum(), prd / prd.sum(), atol=1e-4)
+
+    def test_rank_mass_bounded(self, small_graph):
+        ranks = PageRankDelta().run(small_graph)["ranks"]
+        assert 0 < ranks.sum() <= 1.0 + 1e-9
+
+    def test_active_set_shrinks(self, small_graph):
+        plan = PageRankDelta(epsilon=1e-3).run(small_graph)["plan"]
+        sizes = [
+            s.active.size if s.active is not None else small_graph.num_vertices
+            for s in plan.supersteps
+        ]
+        assert sizes[-1] < sizes[0]
+
+    def test_empty_graph(self):
+        from repro.graph import from_edges
+
+        g = from_edges(0, np.empty((0, 2)))
+        assert PageRankDelta().run(g)["iterations"] == 0
+
+    def test_tighter_epsilon_more_iterations(self, small_graph):
+        loose = PageRankDelta(epsilon=1e-1).run(small_graph)["iterations"]
+        tight = PageRankDelta(epsilon=1e-6).run(small_graph)["iterations"]
+        assert tight >= loose
+
+
+class TestPlan:
+    def test_push_supersteps(self, small_graph):
+        plan = PageRankDelta().run(small_graph)["plan"]
+        assert all(s.direction == "push" for s in plan.supersteps)
+
+    def test_representative_not_first_iteration(self, small_graph):
+        plan = PageRankDelta().run(small_graph)["plan"]
+        if len(plan.supersteps) > 1:
+            assert plan.representative == 1
+
+    def test_total_edges_matches_supersteps(self, small_graph):
+        plan = PageRankDelta().run(small_graph)["plan"]
+        assert plan.total_edges == sum(s.edges for s in plan.supersteps)

@@ -1,0 +1,87 @@
+"""Radii estimation correctness against networkx shortest paths."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps import Radii
+from repro.graph import from_networkx
+from tests.conftest import make_random_graph
+
+
+class TestCorrectness:
+    def test_full_sampling_gives_exact_max_distance(self):
+        nxg = nx.gnp_random_graph(30, 0.12, seed=1, directed=True)
+        g = from_networkx(nxg)
+        app = Radii(num_samples=30, seed=2)
+        result = app.run(g)
+        samples = result["plan"].detail["samples"]
+        # radii[v] must equal the max over sampled sources s of d(s, v).
+        lengths = dict(nx.all_pairs_shortest_path_length(nxg))
+        for v in range(30):
+            expected = max(
+                (lengths[int(s)][v] for s in samples if v in lengths[int(s)]),
+                default=-1,
+            )
+            assert result["radii"][v] == expected
+
+    def test_path_graph_radii(self):
+        nxg = nx.DiGraph([(0, 1), (1, 2), (2, 3)])
+        g = from_networkx(nxg)
+        result = Radii(num_samples=4, seed=0).run(g)
+        # With all vertices sampled, radii[v] = distance from vertex 0.
+        assert result["radii"].tolist() == [0, 1, 2, 3]
+
+    def test_rounds_bounded_by_diameter(self):
+        nxg = nx.path_graph(10, create_using=nx.DiGraph)
+        g = from_networkx(nxg)
+        result = Radii(num_samples=10, seed=0).run(g)
+        assert result["rounds"] == 9
+
+    def test_sample_count_validated(self):
+        with pytest.raises(ValueError):
+            Radii(num_samples=0)
+        with pytest.raises(ValueError):
+            Radii(num_samples=65)
+
+
+class TestInvariance:
+    def test_invariant_under_relabel(self):
+        g = make_random_graph(num_vertices=40, num_edges=200, seed=6)
+        app = Radii(num_samples=16, seed=3)
+        base = app.run(g)["radii"]
+
+        mapping = np.random.default_rng(8).permutation(g.num_vertices)
+        relabelled = g.relabel(mapping)
+        # Same logical samples: seed the sampled set identically by running
+        # on the relabelled graph with samples mapped through.
+        rng = np.random.default_rng(3)
+        samples = rng.choice(g.num_vertices, size=16, replace=False)
+        # Verify the app's own sampling is what we think it is.
+        assert np.array_equal(app.run(g)["plan"].detail["samples"], samples)
+
+        # Manually replicate with mapped samples via a fresh app whose rng
+        # draws the same IDs only by coincidence -- instead compare reachability
+        # max-distance semantics through networkx on the relabelled graph.
+        import networkx as nx
+        from repro.graph import to_networkx
+
+        lengths = dict(nx.all_pairs_shortest_path_length(to_networkx(relabelled)))
+        for v in range(g.num_vertices):
+            expected = max(
+                (
+                    lengths[int(mapping[s])][int(mapping[v])]
+                    for s in samples
+                    if int(mapping[v]) in lengths[int(mapping[s])]
+                ),
+                default=-1,
+            )
+            assert base[v] == expected
+
+
+class TestPlan:
+    def test_dense_pull_supersteps(self, small_graph):
+        plan = Radii(num_samples=8, seed=1).run(small_graph)["plan"]
+        assert all(s.direction == "pull" for s in plan.supersteps)
+        assert all(s.active is None for s in plan.supersteps)
+        assert plan.multiplier == pytest.approx(len(plan.supersteps))

@@ -1,0 +1,79 @@
+"""SSSP correctness against networkx Dijkstra."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps import SSSP
+from repro.graph import from_edges, to_networkx
+from tests.conftest import make_random_graph
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_networkx(self, seed):
+        # dedup: networkx DiGraph collapses parallel edges, Bellman-Ford
+        # on the multigraph would legitimately find shorter paths.
+        g = make_random_graph(
+            num_vertices=40, num_edges=250, seed=seed, weighted=True, dedup=True
+        )
+        result = SSSP().run(g, root=0)
+        reference = nx.single_source_dijkstra_path_length(
+            to_networkx(g), 0, weight="weight"
+        )
+        for v in range(g.num_vertices):
+            if v in reference:
+                assert result["distances"][v] == pytest.approx(reference[v])
+            else:
+                assert np.isinf(result["distances"][v])
+
+    def test_root_distance_zero(self, weighted_graph):
+        assert SSSP().run(weighted_graph, root=5)["distances"][5] == 0.0
+
+    def test_line_graph(self):
+        g = from_edges(4, np.array([(0, 1), (1, 2), (2, 3)]), np.array([1.0, 2.0, 3.0]))
+        dist = SSSP().run(g, root=0)["distances"]
+        assert dist.tolist() == [0.0, 1.0, 3.0, 6.0]
+
+    def test_unreachable_is_inf(self):
+        g = from_edges(3, np.array([(0, 1)]), np.array([1.0]))
+        dist = SSSP().run(g, root=0)["distances"]
+        assert np.isinf(dist[2])
+
+    def test_unweighted_rejected(self, small_graph):
+        with pytest.raises(ValueError):
+            SSSP().run(small_graph, root=0)
+
+    def test_shorter_path_through_more_edges(self):
+        # Direct edge cost 10; two-hop path cost 3.
+        g = from_edges(
+            3, np.array([(0, 2), (0, 1), (1, 2)]), np.array([10.0, 1.0, 2.0])
+        )
+        dist = SSSP().run(g, root=0)["distances"]
+        assert dist[2] == 3.0
+
+
+class TestInvariance:
+    def test_distances_invariant_under_relabel(self, weighted_graph):
+        g = weighted_graph
+        mapping = np.random.default_rng(7).permutation(g.num_vertices)
+        relabelled = g.relabel(mapping)
+        base = SSSP().run(g, root=3)["distances"]
+        moved = SSSP().run(relabelled, root=int(mapping[3]))["distances"]
+        assert np.allclose(base, moved[mapping])
+
+
+class TestPlan:
+    def test_supersteps_cover_all_relaxations(self, weighted_graph):
+        result = SSSP().run(weighted_graph, root=0)
+        plan = result["plan"]
+        assert plan.total_edges == sum(s.edges for s in plan.supersteps)
+        assert plan.traced.edges == max(s.edges for s in plan.supersteps)
+
+    def test_all_supersteps_push(self, weighted_graph):
+        plan = SSSP().run(weighted_graph, root=0)["plan"]
+        assert all(s.direction == "push" for s in plan.supersteps)
+
+    def test_max_rounds_cap(self, weighted_graph):
+        result = SSSP(max_rounds=2).run(weighted_graph, root=0)
+        assert result["rounds"] <= 2

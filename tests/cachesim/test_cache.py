@@ -1,0 +1,110 @@
+"""Unit tests for the reference set-associative LRU cache."""
+
+import pytest
+
+from repro.cachesim import SetAssociativeCache
+
+
+class TestGeometry:
+    def test_sets_computed(self):
+        c = SetAssociativeCache(1024, associativity=4, block_bytes=64)
+        assert c.num_sets == 4
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(100, 2)
+
+    def test_non_power_of_two_sets_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(3 * 64 * 2, 2)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(0, 1)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(64, 0)
+
+
+class TestLruSemantics:
+    def test_cold_miss_then_hit(self):
+        c = SetAssociativeCache(512, 8)  # fully associative, 8 blocks
+        assert not c.access(1)
+        assert c.access(1)
+        assert c.hits == 1 and c.misses == 1
+
+    def test_capacity_eviction(self):
+        c = SetAssociativeCache(512, 8)
+        for b in range(9):  # 9 distinct blocks through 8 ways
+            c.access(b * c.num_sets)  # same set when num_sets > 1
+        assert not c.access(0)  # LRU block evicted
+
+    def test_lru_order_updated_on_hit(self):
+        c = SetAssociativeCache(128, 2)  # 1 set, 2 ways
+        c.access(0)
+        c.access(1)
+        c.access(0)  # touch 0, making 1 the LRU
+        c.access(2)  # evicts 1
+        assert c.access(0)
+        assert not c.access(1)
+
+    def test_set_isolation(self):
+        c = SetAssociativeCache(256, 1)  # 4 sets, direct mapped
+        c.access(0)
+        c.access(1)  # different set, must not evict block 0
+        assert c.access(0)
+
+    def test_direct_mapped_conflict(self):
+        c = SetAssociativeCache(256, 1)  # 4 sets
+        c.access(0)
+        c.access(4)  # same set (4 % 4 == 0)
+        assert not c.access(0)
+
+    def test_contains_does_not_update(self):
+        c = SetAssociativeCache(128, 2)
+        c.access(0)
+        c.access(1)
+        assert c.contains(0)
+        c.access(2)  # should evict 0 (oldest), since contains() didn't touch
+        assert not c.contains(0)
+
+    def test_resident_blocks(self):
+        c = SetAssociativeCache(256, 4)
+        for b in (3, 9):
+            c.access(b)
+        assert c.resident_blocks() == {3, 9}
+
+    def test_reset_stats(self):
+        c = SetAssociativeCache(128, 2)
+        c.access(0)
+        c.reset_stats()
+        assert c.hits == 0 and c.misses == 0
+        assert c.contains(0)  # contents survive
+
+
+class TestWorkingSets:
+    def test_working_set_within_capacity_all_hits(self):
+        c = SetAssociativeCache(4096, 8)  # 64 blocks
+        blocks = list(range(32))
+        for b in blocks:
+            c.access(b)
+        c.reset_stats()
+        for _ in range(10):
+            for b in blocks:
+                assert c.access(b)
+
+    def test_streaming_never_hits(self):
+        c = SetAssociativeCache(4096, 8)
+        for b in range(1000):
+            assert not c.access(b)
+
+    def test_thrashing_loop(self):
+        # Cyclic access to a working set 1 block larger than capacity under
+        # LRU: every access misses.
+        c = SetAssociativeCache(512, 8)  # 8 blocks, fully associative
+        blocks = [b * c.num_sets for b in range(9)]
+        for _ in range(3):
+            for b in blocks:
+                c.access(b)
+        c.reset_stats()
+        for b in blocks:
+            assert not c.access(b)

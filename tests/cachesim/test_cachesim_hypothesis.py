@@ -1,0 +1,116 @@
+"""Property-based tests for the cache simulator."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cachesim import (
+    CacheGeometry,
+    HierarchyConfig,
+    SetAssociativeCache,
+    simulate_trace,
+)
+from tests.cachesim.test_hierarchy import make_trace
+
+
+@st.composite
+def traces(draw, max_block=96, max_len=400):
+    length = draw(st.integers(min_value=0, max_value=max_len))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    blocks = rng.integers(0, max_block, size=length)
+    writes = rng.random(length) < draw(st.floats(min_value=0, max_value=1))
+    cores = rng.integers(0, 4, size=length)
+    return blocks, writes, cores
+
+
+class TestHierarchyProperties:
+    @given(traces())
+    @settings(max_examples=40, deadline=None)
+    def test_counter_consistency(self, data):
+        blocks, writes, cores = data
+        stats = simulate_trace(make_trace(blocks, writes=writes, cores=cores))
+        assert stats.accesses == blocks.size
+        assert 0 <= stats.l3_misses <= stats.l2_misses <= stats.l1_misses <= stats.accesses
+        assert sum(stats.l2_miss_breakdown.values()) == stats.l2_misses
+
+    @given(traces())
+    @settings(max_examples=40, deadline=None)
+    def test_read_only_traces_never_snoop(self, data):
+        blocks, _, cores = data
+        stats = simulate_trace(make_trace(blocks, cores=cores))
+        assert stats.l2_miss_breakdown["snoop_local"] == 0
+        assert stats.l2_miss_breakdown["snoop_remote"] == 0
+
+    @given(traces())
+    @settings(max_examples=40, deadline=None)
+    def test_single_core_never_snoops(self, data):
+        blocks, writes, _ = data
+        stats = simulate_trace(make_trace(blocks, writes=writes))
+        assert stats.l2_miss_breakdown["snoop_local"] == 0
+        assert stats.l2_miss_breakdown["snoop_remote"] == 0
+
+    @given(traces(), st.sampled_from(["lru", "fifo", "lip"]))
+    @settings(max_examples=30, deadline=None)
+    def test_l1_matches_reference_cache_all_policies(self, data, policy):
+        blocks, _, _ = data
+        config = HierarchyConfig(
+            l1=CacheGeometry(512, 2),
+            l2=CacheGeometry(1 << 16, 4),
+            l3=CacheGeometry(1 << 20, 8),
+            replacement=policy,
+        )
+        stats = simulate_trace(make_trace(blocks), config)
+        reference = SetAssociativeCache(512, 2, policy=policy)
+        for b in blocks.tolist():
+            reference.access(b)
+        assert stats.l1_misses == reference.misses
+
+    @given(traces())
+    @settings(max_examples=30, deadline=None)
+    def test_distinct_blocks_lower_bound_misses(self, data):
+        """Compulsory misses: every distinct block misses L1 at least once."""
+        blocks, writes, cores = data
+        stats = simulate_trace(make_trace(blocks, writes=writes, cores=cores))
+        assert stats.l1_misses >= np.unique(blocks).size
+
+
+class TestReferenceCacheProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=64), max_size=300),
+        st.sampled_from(["lru", "fifo", "lip"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_hits_plus_misses_is_accesses(self, blocks, policy):
+        cache = SetAssociativeCache(256, 2, policy=policy)
+        for b in blocks:
+            cache.access(b)
+        assert cache.hits + cache.misses == len(blocks)
+
+    @given(st.lists(st.integers(min_value=0, max_value=64), max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_occupancy_bounded_by_capacity(self, blocks):
+        cache = SetAssociativeCache(256, 2)
+        for b in blocks:
+            cache.access(b)
+        assert len(cache.resident_blocks()) <= 4  # 256B / 64B blocks
+
+    @given(st.lists(st.integers(min_value=0, max_value=16), min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_immediate_reaccess_always_hits(self, blocks):
+        cache = SetAssociativeCache(512, 2)
+        for b in blocks:
+            cache.access(b)
+            assert cache.access(b)
+
+    @given(st.lists(st.integers(min_value=0, max_value=32), max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_lru_inclusion_property(self, blocks):
+        """The stack property: a larger fully-associative LRU cache never
+        misses more than a smaller one on the same trace."""
+        small = SetAssociativeCache(512, 8)  # 8 blocks, fully associative
+        large = SetAssociativeCache(1024, 16)  # 16 blocks, fully associative
+        for b in blocks:
+            small.access(b)
+            large.access(b)
+        assert large.misses <= small.misses

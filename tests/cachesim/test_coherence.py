@@ -1,0 +1,100 @@
+"""Tests for the snoop classification of L2 misses (Fig. 9 machinery)."""
+
+import numpy as np
+
+from repro.cachesim import CacheGeometry, HierarchyConfig, simulate_trace
+from tests.cachesim.test_hierarchy import make_trace
+
+#: Tiny hierarchy so evictions are easy to force.
+TINY = HierarchyConfig(
+    l1=CacheGeometry(128, 2),  # 2 blocks... 1 set x 2 ways
+    l2=CacheGeometry(256, 4),
+    l3=CacheGeometry(1024, 8),
+    cores_per_socket=2,
+)
+
+
+def flush_blocks(start, count):
+    """A block stream that pushes everything else out of L1/L2."""
+    return list(range(start, start + count))
+
+
+class TestSnoopClassification:
+    def test_read_after_remote_write_snoops(self):
+        # Core 0 writes block 7; many unrelated blocks evict it from L1/L2;
+        # core 1 then reads it -> L2 miss served by snooping core 0.
+        blocks = [7] + flush_blocks(100, 8) + [7]
+        writes = [True] + [False] * 8 + [False]
+        cores = [0] + [0] * 8 + [1]
+        stats = simulate_trace(make_trace(blocks, writes=writes, cores=cores), TINY)
+        assert stats.l2_miss_breakdown["snoop_local"] >= 1
+
+    def test_socket_boundary(self):
+        # cores_per_socket=2: cores 0 and 2 are on different sockets.
+        blocks = [7] + flush_blocks(100, 8) + [7]
+        writes = [True] + [False] * 8 + [False]
+        cores = [0] + [0] * 8 + [2]
+        stats = simulate_trace(make_trace(blocks, writes=writes, cores=cores), TINY)
+        assert stats.l2_miss_breakdown["snoop_remote"] >= 1
+        assert stats.l2_miss_breakdown["snoop_local"] == 0
+
+    def test_same_core_rereads_do_not_snoop(self):
+        blocks = [7] + flush_blocks(100, 8) + [7]
+        writes = [True] + [False] * 8 + [False]
+        cores = [0] * 10
+        stats = simulate_trace(make_trace(blocks, writes=writes, cores=cores), TINY)
+        assert stats.l2_miss_breakdown["snoop_local"] == 0
+        assert stats.l2_miss_breakdown["snoop_remote"] == 0
+
+    def test_read_only_sharing_never_snoops(self):
+        rng = np.random.default_rng(1)
+        blocks = rng.integers(0, 64, size=500)
+        cores = rng.integers(0, 4, size=500)
+        stats = simulate_trace(make_trace(blocks, cores=cores), TINY)
+        assert stats.l2_miss_breakdown["snoop_local"] == 0
+        assert stats.l2_miss_breakdown["snoop_remote"] == 0
+
+    def test_ownership_downgraded_after_first_reader(self):
+        # Write by 0, then reads by 1 and then by 1 again after flushes:
+        # the second read must be served without a snoop.
+        blocks = [7] + flush_blocks(100, 8) + [7] + flush_blocks(200, 8) + [7]
+        writes = [True] + [False] * 8 + [False] + [False] * 8 + [False]
+        cores = [0] + [0] * 8 + [1] + [1] * 8 + [1]
+        stats = simulate_trace(make_trace(blocks, writes=writes, cores=cores), TINY)
+        assert stats.l2_miss_breakdown["snoop_local"] == 1
+
+    def test_write_write_sharing_keeps_snooping(self):
+        # Alternating writers with flushes in between: every re-acquire snoops.
+        blocks, writes, cores = [], [], []
+        for round_idx in range(4):
+            writer = round_idx % 2
+            blocks += [7] + flush_blocks(100 + 10 * round_idx, 8)
+            writes += [True] + [False] * 8
+            cores += [writer] + [writer] * 8
+        stats = simulate_trace(make_trace(blocks, writes=writes, cores=cores), TINY)
+        assert stats.l2_miss_breakdown["snoop_local"] >= 3
+
+
+class TestPushModeShape:
+    """End-to-end shape: PRD-style write sharing snoops more than SSSP-style."""
+
+    def test_many_writers_snoop_more_than_few(self):
+        rng = np.random.default_rng(2)
+        n = 4000
+        shared_blocks = rng.integers(0, 32, size=n)
+        cores = rng.integers(0, 4, size=n)
+        heavy_writes = rng.random(n) < 0.9
+        light_writes = rng.random(n) < 0.05
+        heavy = simulate_trace(
+            make_trace(shared_blocks, writes=heavy_writes, cores=cores), TINY
+        )
+        light = simulate_trace(
+            make_trace(shared_blocks, writes=light_writes, cores=cores), TINY
+        )
+
+        def snoop_fraction(stats):
+            bd = stats.l2_miss_breakdown
+            total = max(sum(bd.values()), 1)
+            return (bd["snoop_local"] + bd["snoop_remote"]) / total
+
+        assert snoop_fraction(heavy) > snoop_fraction(light)

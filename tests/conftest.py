@@ -1,0 +1,72 @@
+"""Shared fixtures: small deterministic graphs used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edges
+from repro.graph.csr import Graph
+
+
+def make_random_graph(
+    num_vertices: int = 64,
+    num_edges: int = 400,
+    seed: int = 0,
+    weighted: bool = False,
+    dedup: bool = False,
+) -> Graph:
+    """A deterministic random directed graph for unit tests.
+
+    Pass ``dedup=True`` when comparing against networkx references, which
+    collapse parallel edges.
+    """
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, num_vertices, size=num_edges)
+    dst = rng.integers(0, num_vertices, size=num_edges)
+    weights = rng.integers(1, 16, size=num_edges).astype(float) if weighted else None
+    return from_edges(
+        num_vertices, np.stack([src, dst], axis=1), weights, dedup=dedup
+    )
+
+
+#: Out-degrees of the paper's 12-vertex worked example (Fig. 2 / Fig. 4).
+PAPER_EXAMPLE_DEGREES = [3, 4, 54, 4, 22, 25, 21, 3, 28, 70, 4, 2]
+
+
+def make_paper_example_graph() -> Graph:
+    """A graph realizing the exact out-degrees of the paper's Fig. 2.
+
+    Average degree is 20, so hot vertices (degree >= 20) are P2, P4, P5,
+    P6, P8, P9 and the hottest (>= 40) are P2 and P9, as in the figure.
+    """
+    edges = []
+    n = len(PAPER_EXAMPLE_DEGREES)
+    for v, degree in enumerate(PAPER_EXAMPLE_DEGREES):
+        edges.extend((v, (v + k + 1) % n) for k in range(degree))
+    return from_edges(n, np.array(edges))
+
+
+@pytest.fixture
+def paper_graph() -> Graph:
+    return make_paper_example_graph()
+
+
+@pytest.fixture
+def small_graph() -> Graph:
+    return make_random_graph()
+
+
+@pytest.fixture
+def weighted_graph() -> Graph:
+    return make_random_graph(weighted=True, seed=3)
+
+
+@pytest.fixture
+def tiny_community_graph() -> Graph:
+    from repro.graph.generators import community_graph
+
+    return community_graph(
+        400, avg_degree=8.0, exponent=1.8, intra_fraction=0.7, min_community=16,
+        max_community=64, hub_grouping=0.5, seed=5,
+    )

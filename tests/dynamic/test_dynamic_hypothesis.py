@@ -1,0 +1,72 @@
+"""Property-based tests for the dynamic-graph store and streams."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dynamic import DynamicGraph, UpdateBatch
+from repro.dynamic.scheduler import hot_set_overlap
+from repro.dynamic.stream import make_batch
+
+
+@st.composite
+def stores(draw):
+    n = draw(st.integers(min_value=4, max_value=40))
+    num_edges = draw(st.integers(min_value=1, max_value=120))
+    seed = draw(st.integers(min_value=0, max_value=5000))
+    rng = np.random.default_rng(seed)
+    edges = rng.integers(0, n, size=(num_edges, 2))
+    return DynamicGraph(n, edges)
+
+
+class TestStoreProperties:
+    @given(stores(), st.integers(min_value=0, max_value=60),
+           st.floats(min_value=0, max_value=1), st.integers(min_value=0, max_value=999))
+    @settings(max_examples=40, deadline=None)
+    def test_apply_preserves_edge_accounting(self, store, batch_size, add_frac, seed):
+        rng = np.random.default_rng(seed)
+        before = store.num_edges
+        batch = make_batch(store, batch_size, add_frac, rng)
+        store.apply(batch)
+        expected = before + batch.add_edges.shape[0] - batch.remove_indices.size
+        assert store.num_edges == expected
+        assert store.version == 1
+
+    @given(stores())
+    @settings(max_examples=40, deadline=None)
+    def test_snapshot_matches_degrees(self, store):
+        snap = store.snapshot()
+        assert np.array_equal(store.degrees("out"), snap.out_degrees())
+        assert np.array_equal(store.degrees("in"), snap.in_degrees())
+
+    @given(stores(), st.integers(min_value=0, max_value=999))
+    @settings(max_examples=30, deadline=None)
+    def test_removal_then_snapshot_valid(self, store, seed):
+        rng = np.random.default_rng(seed)
+        count = min(store.num_edges, 5)
+        remove = rng.choice(store.num_edges, size=count, replace=False)
+        store.apply(UpdateBatch(np.empty((0, 2), np.int64), remove))
+        snap = store.snapshot()
+        assert snap.num_edges == store.num_edges
+
+
+class TestHotSetOverlapProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_reflexive(self, degrees):
+        d = np.array(degrees, dtype=float)
+        assert hot_set_overlap(d, d) == 1.0
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=40),
+        st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=40),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_symmetric_and_bounded(self, a, b):
+        size = min(len(a), len(b))
+        da = np.array(a[:size], dtype=float)
+        db = np.array(b[:size], dtype=float)
+        forward = hot_set_overlap(da, db)
+        backward = hot_set_overlap(db, da)
+        assert forward == backward
+        assert 0.0 <= forward <= 1.0

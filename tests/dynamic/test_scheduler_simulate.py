@@ -1,0 +1,161 @@
+"""Tests for reordering policies and the dynamic workload simulator."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic import (
+    DriftTriggered,
+    NeverReorder,
+    PeriodicReorder,
+    ReorderOnce,
+    hot_set_overlap,
+    simulate_workload,
+)
+from repro.graph.generators import community_graph
+
+
+class TestHotSetOverlap:
+    def test_identical_vectors(self):
+        d = np.array([1, 10, 1, 10])
+        assert hot_set_overlap(d, d) == 1.0
+
+    def test_disjoint_hot_sets(self):
+        a = np.array([10, 1, 1, 1])
+        b = np.array([1, 1, 1, 10])
+        assert hot_set_overlap(a, b) == 0.0
+
+    def test_partial(self):
+        a = np.array([10, 10, 1, 1])
+        b = np.array([10, 1, 10, 1])
+        assert hot_set_overlap(a, b) == pytest.approx(1 / 3)
+
+    def test_empty_graph(self):
+        z = np.zeros(4)
+        assert hot_set_overlap(z, z) == 1.0
+
+
+class TestPolicies:
+    def test_never(self):
+        policy, state = NeverReorder(), {}
+        assert not any(policy.should_reorder(e, np.ones(4), state) for e in range(5))
+
+    def test_once(self):
+        policy, state = ReorderOnce(), {}
+        degrees = np.ones(4)
+        assert policy.should_reorder(0, degrees, state)
+        policy.mark_reordered(0, degrees, state)
+        assert not policy.should_reorder(1, degrees, state)
+
+    def test_periodic(self):
+        policy, state = PeriodicReorder(period=3), {}
+        degrees = np.ones(4)
+        fired = []
+        for epoch in range(7):
+            if policy.should_reorder(epoch, degrees, state):
+                policy.mark_reordered(epoch, degrees, state)
+                fired.append(epoch)
+        assert fired == [0, 3, 6]
+
+    def test_periodic_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicReorder(period=0)
+
+    def test_drift_fires_on_first_epoch(self):
+        policy, state = DriftTriggered(0.5), {}
+        assert policy.should_reorder(0, np.array([5, 1, 1]), state)
+
+    def test_drift_fires_only_on_drift(self):
+        policy, state = DriftTriggered(0.9), {}
+        stable = np.array([10.0, 10.0, 1.0, 1.0])
+        policy.mark_reordered(0, stable, state)
+        assert not policy.should_reorder(1, stable, state)
+        drifted = np.array([1.0, 1.0, 10.0, 10.0])
+        assert policy.should_reorder(2, drifted, state)
+
+    def test_drift_validation(self):
+        with pytest.raises(ValueError):
+            DriftTriggered(0.0)
+
+
+@pytest.fixture(scope="module")
+def workload_results():
+    graph = community_graph(
+        2500, avg_degree=10.0, exponent=1.7, intra_fraction=0.5, seed=11
+    )
+    src, dst = graph.edge_array()
+    edges = np.stack([src, dst], axis=1)
+    policies = [NeverReorder(), ReorderOnce(), PeriodicReorder(2), DriftTriggered(0.85)]
+    return simulate_workload(
+        edges,
+        graph.num_vertices,
+        policies,
+        num_epochs=4,
+        batch_size=3000,
+        queries_per_epoch=3,
+        seed=2,
+    )
+
+
+class TestSimulator:
+    def test_reorder_counts(self, workload_results):
+        by_name = {r.policy: r for r in workload_results}
+        assert by_name["never"].num_reorders == 0
+        assert by_name["once"].num_reorders == 1
+        assert by_name["periodic-2"].num_reorders == 2
+
+    def test_never_pays_no_reorder_cycles(self, workload_results):
+        never = next(r for r in workload_results if r.policy == "never")
+        assert never.reorder_cycles == 0.0
+        assert never.total_cycles == never.query_cycles
+
+    def test_reordering_beats_never(self, workload_results):
+        """The paper's Section VIII-B claim: amortized over a query stream,
+        reordering pays off even as the graph evolves."""
+        by_name = {r.policy: r for r in workload_results}
+        assert by_name["once"].total_cycles < by_name["never"].total_cycles
+
+    def test_drift_reorders_no_more_than_periodic(self, workload_results):
+        """Preferential-attachment churn keeps the hot set stable, so the
+        drift policy re-reorders rarely."""
+        by_name = {r.policy: r for r in workload_results}
+        assert by_name[
+            next(k for k in by_name if k.startswith("drift"))
+        ].num_reorders <= by_name["periodic-2"].num_reorders
+
+    def test_epoch_accounting(self, workload_results):
+        for result in workload_results:
+            assert len(result.per_epoch_query_cycles) == 4
+            assert result.query_cycles == pytest.approx(
+                3 * sum(result.per_epoch_query_cycles)
+            )
+
+
+class TestSimulatorValidation:
+    def test_root_dependent_apps_rejected(self):
+        import numpy as np
+        from repro.dynamic import simulate_workload, NeverReorder
+
+        with pytest.raises(ValueError):
+            simulate_workload(
+                np.array([[0, 1]]), 2, [NeverReorder()], app_name="SSSP"
+            )
+
+    def test_alternative_app_and_technique(self):
+        import numpy as np
+        from repro.dynamic import simulate_workload, ReorderOnce
+        from repro.graph.generators import community_graph
+
+        g = community_graph(800, 8.0, exponent=1.7, seed=21)
+        src, dst = g.edge_array()
+        results = simulate_workload(
+            np.stack([src, dst], axis=1),
+            g.num_vertices,
+            [ReorderOnce()],
+            technique="HubCluster",
+            app_name="Radii",
+            num_epochs=2,
+            batch_size=500,
+            queries_per_epoch=1,
+        )
+        assert results[0].num_reorders == 1
+        assert results[0].query_cycles > 0

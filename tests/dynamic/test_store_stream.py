@@ -1,0 +1,98 @@
+"""Tests for the dynamic graph store and update streams."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic import DynamicGraph, UpdateBatch, update_stream
+from repro.dynamic.stream import make_batch
+from tests.conftest import make_random_graph
+
+
+def make_store(num_vertices=50, num_edges=300, seed=0):
+    g = make_random_graph(num_vertices, num_edges, seed=seed)
+    src, dst = g.edge_array()
+    return DynamicGraph(num_vertices, np.stack([src, dst], axis=1))
+
+
+class TestStore:
+    def test_from_graph_roundtrip(self, small_graph):
+        store = DynamicGraph.from_graph(small_graph)
+        assert store.snapshot() == small_graph
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicGraph(3, np.array([(0, 5)]))
+
+    def test_apply_additions(self):
+        store = make_store()
+        before = store.num_edges
+        batch = UpdateBatch(np.array([(0, 1), (2, 3)]), np.empty(0, dtype=np.int64))
+        store.apply(batch)
+        assert store.num_edges == before + 2
+        assert store.version == 1
+
+    def test_apply_removals(self):
+        store = make_store()
+        before = store.num_edges
+        batch = UpdateBatch(np.empty((0, 2), np.int64), np.array([0, 1, 2]))
+        store.apply(batch)
+        assert store.num_edges == before - 3
+
+    def test_removal_index_validated(self):
+        store = make_store()
+        bad = UpdateBatch(np.empty((0, 2), np.int64), np.array([10**6]))
+        with pytest.raises(ValueError):
+            store.apply(bad)
+
+    def test_added_edge_validated(self):
+        store = make_store()
+        bad = UpdateBatch(np.array([(0, 10**6)]), np.empty(0, dtype=np.int64))
+        with pytest.raises(ValueError):
+            store.apply(bad)
+
+    def test_degrees_match_snapshot(self):
+        store = make_store(seed=2)
+        snap = store.snapshot()
+        assert np.array_equal(store.degrees("out"), snap.out_degrees())
+        assert np.array_equal(store.degrees("in"), snap.in_degrees())
+        assert np.array_equal(store.degrees("both"), snap.degrees("both"))
+
+
+class TestStream:
+    def test_batch_size_split(self):
+        store = make_store()
+        rng = np.random.default_rng(1)
+        batch = make_batch(store, 100, add_fraction=0.7, rng=rng)
+        assert batch.add_edges.shape[0] == 70
+        assert batch.remove_indices.size == 30
+        assert batch.size == 100
+
+    def test_add_fraction_bounds(self):
+        store = make_store()
+        with pytest.raises(ValueError):
+            make_batch(store, 10, add_fraction=1.5, rng=np.random.default_rng(0))
+
+    def test_removals_unique(self):
+        store = make_store()
+        batch = make_batch(store, 200, 0.0, np.random.default_rng(2))
+        assert np.unique(batch.remove_indices).size == batch.remove_indices.size
+
+    def test_stream_applies_cleanly(self):
+        store = make_store()
+        for batch in update_stream(store, num_batches=5, batch_size=50, seed=3):
+            store.apply(batch)
+        assert store.version == 5
+        store.snapshot()  # must still build a valid CSR
+
+    def test_preferential_attachment_preserves_skew(self):
+        """Growth keeps a skewed degree distribution skewed (Sec. VIII-B)."""
+        from repro.graph.generators import community_graph
+        from repro.graph.properties import skew_summary
+
+        g = community_graph(2000, 10.0, exponent=1.7, seed=4)
+        store = DynamicGraph.from_graph(g)
+        for batch in update_stream(store, 4, batch_size=4000, add_fraction=0.8, seed=5):
+            store.apply(batch)
+        skew = skew_summary(store.snapshot())
+        assert skew.edge_coverage_pct_out > 55
+        assert skew.hot_vertex_pct_out < 40

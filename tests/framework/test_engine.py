@@ -1,0 +1,158 @@
+"""Tests for the direction-optimizing edge_map."""
+
+import numpy as np
+import pytest
+
+from repro.framework import VertexSubset, edge_map, vertex_map
+from repro.framework.engine import gather_in, gather_out
+from repro.graph import from_edges
+
+
+def diamond():
+    #   0 -> 1 -> 3
+    #   0 -> 2 -> 3
+    return from_edges(4, np.array([(0, 1), (0, 2), (1, 3), (2, 3)]))
+
+
+class TestGather:
+    def test_gather_out(self):
+        g = diamond()
+        src, dst, w = gather_out(g, np.array([0]))
+        assert src.tolist() == [0, 0]
+        assert sorted(dst.tolist()) == [1, 2]
+        assert w is None
+
+    def test_gather_in(self):
+        g = diamond()
+        src, dst, _ = gather_in(g, np.array([3]))
+        assert sorted(src.tolist()) == [1, 2]
+        assert dst.tolist() == [3, 3]
+
+    def test_gather_empty(self):
+        g = diamond()
+        src, dst, _ = gather_out(g, np.array([3]))  # vertex 3 has no out-edges
+        assert src.size == 0 and dst.size == 0
+
+    def test_gather_weighted(self):
+        g = from_edges(2, np.array([(0, 1)]), np.array([4.5]))
+        _, _, w = gather_out(g, np.array([0]))
+        assert w.tolist() == [4.5]
+
+
+class TestEdgeMapBfs:
+    """Drive a BFS with edge_map in each direction; both must agree."""
+
+    @staticmethod
+    def bfs_levels(graph, root, direction):
+        n = graph.num_vertices
+        level = np.full(n, -1)
+        level[root] = 0
+        frontier = VertexSubset.single(n, root)
+        depth = 0
+
+        while not frontier.is_empty():
+            def update(src, dst, weights):
+                fresh = level[dst] == -1
+                level[dst[fresh]] = depth + 1
+                return fresh
+
+            def cond(dst):
+                return level[dst] == -1
+
+            result = edge_map(graph, frontier, update, cond=cond, direction=direction)
+            frontier = result.frontier
+            depth += 1
+        return level
+
+    def test_push_pull_agree(self):
+        g = diamond()
+        push = self.bfs_levels(g, 0, "push")
+        pull = self.bfs_levels(g, 0, "pull")
+        assert push.tolist() == pull.tolist() == [0, 1, 1, 2]
+
+    def test_auto_direction(self):
+        g = diamond()
+        auto = self.bfs_levels(g, 0, "auto")
+        assert auto.tolist() == [0, 1, 1, 2]
+
+    def test_larger_graph_agreement(self):
+        from tests.conftest import make_random_graph
+
+        g = make_random_graph(num_vertices=60, num_edges=300, seed=9)
+        push = self.bfs_levels(g, 0, "push")
+        pull = self.bfs_levels(g, 0, "pull")
+        assert push.tolist() == pull.tolist()
+
+
+class TestEdgeMapMechanics:
+    def test_empty_frontier(self):
+        g = diamond()
+        result = edge_map(g, VertexSubset.empty(4), lambda s, d, w: np.ones_like(d, bool))
+        assert result.frontier.is_empty()
+        assert result.edges_traversed == 0
+
+    def test_edges_traversed_counted(self):
+        g = diamond()
+        result = edge_map(
+            g,
+            VertexSubset.single(4, 0),
+            lambda s, d, w: np.ones_like(d, dtype=bool),
+            direction="push",
+        )
+        assert result.edges_traversed == 2
+        assert result.direction == "push"
+
+    def test_cond_filters_destinations(self):
+        g = diamond()
+        result = edge_map(
+            g,
+            VertexSubset.single(4, 0),
+            lambda s, d, w: np.ones_like(d, dtype=bool),
+            cond=lambda d: d == 1,
+            direction="push",
+        )
+        assert result.frontier.ids().tolist() == [1]
+
+    def test_bad_direction_rejected(self):
+        g = diamond()
+        with pytest.raises(ValueError):
+            edge_map(g, VertexSubset.single(4, 0), lambda s, d, w: d == d, direction="up")
+
+    def test_update_shape_validated(self):
+        g = diamond()
+        with pytest.raises(ValueError):
+            edge_map(
+                g,
+                VertexSubset.single(4, 0),
+                lambda s, d, w: np.ones(1, dtype=bool),
+                direction="push",
+            )
+
+    def test_dense_frontier_triggers_pull(self):
+        g = diamond()
+        result = edge_map(
+            g, VertexSubset.full(4), lambda s, d, w: np.ones_like(d, bool)
+        )
+        assert result.direction == "pull"
+
+    def test_weights_passed_through(self):
+        g = from_edges(3, np.array([(0, 1), (0, 2)]), np.array([2.0, 7.0]))
+        seen = {}
+
+        def update(src, dst, weights):
+            seen["w"] = sorted(weights.tolist())
+            return np.ones_like(dst, dtype=bool)
+
+        edge_map(g, VertexSubset.single(3, 0), update, direction="push")
+        assert seen["w"] == [2.0, 7.0]
+
+
+class TestVertexMap:
+    def test_filter(self):
+        s = VertexSubset(10, ids=[1, 2, 3, 4])
+        out = vertex_map(s, lambda ids: ids % 2 == 0)
+        assert out.ids().tolist() == [2, 4]
+
+    def test_none_keeps_all(self):
+        s = VertexSubset(10, ids=[1, 2])
+        assert vertex_map(s, lambda ids: None) is s

@@ -1,0 +1,112 @@
+"""Tests for memory-trace construction."""
+
+import numpy as np
+import pytest
+
+from repro.framework.trace import AddressSpace, Region, TraceBuilder
+
+
+class TestAddressSpace:
+    def test_regions_disjoint(self):
+        space = AddressSpace()
+        a = space.region("a", 1000, 8)
+        b = space.region("b", 1000, 8)
+        a_blocks = a.block_of(np.arange(1000))
+        b_blocks = b.block_of(np.arange(1000))
+        assert set(a_blocks.tolist()).isdisjoint(b_blocks.tolist())
+
+    def test_duplicate_name_rejected(self):
+        space = AddressSpace()
+        space.region("a", 10, 8)
+        with pytest.raises(ValueError):
+            space.region("a", 10, 8)
+
+    def test_block_of_packs_elements(self):
+        region = Region("r", base=0, element_bytes=8)
+        blocks = region.block_of(np.arange(16))
+        assert blocks[:8].tolist() == [0] * 8
+        assert blocks[8:].tolist() == [1] * 8
+
+    def test_wider_elements_pack_fewer(self):
+        region = Region("r", base=0, element_bytes=16)
+        blocks = region.block_of(np.arange(8))
+        assert blocks.tolist() == [0, 0, 0, 0, 1, 1, 1, 1]
+
+
+class TestTraceBuilder:
+    def test_key_ordering(self):
+        space = AddressSpace()
+        r = space.region("p", 100, 64)  # one block per element
+        builder = TraceBuilder()
+        builder.add(r, np.array([0, 2]), np.array([0.0, 2.0]))
+        builder.add(r, np.array([1]), np.array([1.0]))
+        trace = builder.build()
+        base = r.block_of(np.array([0]))[0]
+        assert trace.blocks.tolist() == [base, base + 1, base + 2]
+
+    def test_run_length_compression(self):
+        space = AddressSpace()
+        r = space.region("p", 100, 8)
+        builder = TraceBuilder()
+        # Elements 0..7 share one block: compresses into a single run.
+        builder.add(r, np.arange(8), np.arange(8, dtype=float))
+        trace = builder.build()
+        assert len(trace) == 1
+        assert trace.counts.tolist() == [8]
+        assert trace.total_accesses == 8
+
+    def test_no_compression_across_write_flag(self):
+        space = AddressSpace()
+        r = space.region("p", 100, 8)
+        builder = TraceBuilder()
+        builder.add(r, np.array([0]), np.array([0.0]), write=False)
+        builder.add(r, np.array([1]), np.array([1.0]), write=True)
+        trace = builder.build()
+        assert len(trace) == 2
+        assert trace.writes.tolist() == [False, True]
+
+    def test_no_compression_across_cores(self):
+        space = AddressSpace()
+        r = space.region("p", 100, 8)
+        builder = TraceBuilder()
+        builder.add(r, np.array([0]), np.array([0.0]), core=0)
+        builder.add(r, np.array([1]), np.array([1.0]), core=1)
+        trace = builder.build()
+        assert len(trace) == 2
+        assert trace.cores.tolist() == [0, 1]
+
+    def test_per_access_cores_array(self):
+        space = AddressSpace()
+        r = space.region("p", 100, 64)
+        builder = TraceBuilder()
+        builder.add(r, np.array([0, 1]), np.array([0.0, 1.0]), core=np.array([3, 5]))
+        trace = builder.build()
+        assert trace.cores.tolist() == [3, 5]
+
+    def test_empty_build(self):
+        trace = TraceBuilder().build()
+        assert len(trace) == 0
+        assert trace.total_accesses == 0
+
+    def test_keys_must_align(self):
+        space = AddressSpace()
+        r = space.region("p", 10, 8)
+        with pytest.raises(ValueError):
+            TraceBuilder().add(r, np.array([0, 1]), np.array([0.0]))
+
+    def test_interleaving_two_streams(self):
+        space = AddressSpace()
+        prop = space.region("prop", 100, 64)
+        edge = space.region("edge", 100, 64)
+        builder = TraceBuilder()
+        # Property reads at integer keys, edge stream just before each.
+        builder.add(prop, np.array([5, 6]), np.array([0.0, 1.0]))
+        builder.add(edge, np.array([0, 1]), np.array([-0.5, 0.5]))
+        trace = builder.build()
+        expected = [
+            edge.block_of(np.array([0]))[0],
+            prop.block_of(np.array([5]))[0],
+            edge.block_of(np.array([1]))[0],
+            prop.block_of(np.array([6]))[0],
+        ]
+        assert trace.blocks.tolist() == expected

@@ -1,0 +1,68 @@
+"""Tests for the Ligra-style VertexSubset."""
+
+import numpy as np
+import pytest
+
+from repro.framework import VertexSubset
+
+
+class TestConstruction:
+    def test_sparse(self):
+        s = VertexSubset(10, ids=[3, 1, 3])
+        assert len(s) == 2  # deduplicated
+        assert s.ids().tolist() == [1, 3]
+
+    def test_dense(self):
+        mask = np.zeros(5, dtype=bool)
+        mask[2] = True
+        s = VertexSubset(5, mask=mask)
+        assert len(s) == 1
+        assert 2 in s
+
+    def test_both_representations_rejected(self):
+        with pytest.raises(ValueError):
+            VertexSubset(5, ids=[1], mask=np.ones(5, dtype=bool))
+        with pytest.raises(ValueError):
+            VertexSubset(5)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            VertexSubset(5, ids=[7])
+
+    def test_wrong_mask_shape_rejected(self):
+        with pytest.raises(ValueError):
+            VertexSubset(5, mask=np.ones(4, dtype=bool))
+
+
+class TestConstructors:
+    def test_single(self):
+        s = VertexSubset.single(8, 3)
+        assert s.ids().tolist() == [3]
+
+    def test_full(self):
+        s = VertexSubset.full(4)
+        assert len(s) == 4
+        assert s.mask().all()
+
+    def test_empty(self):
+        s = VertexSubset.empty(4)
+        assert s.is_empty()
+        assert len(s) == 0
+
+
+class TestConversions:
+    def test_sparse_to_dense(self):
+        s = VertexSubset(6, ids=[0, 5])
+        mask = s.mask()
+        assert mask.tolist() == [True, False, False, False, False, True]
+
+    def test_dense_to_sparse(self):
+        mask = np.array([False, True, True, False])
+        s = VertexSubset(4, mask=mask)
+        assert s.ids().tolist() == [1, 2]
+
+    def test_contains_both_forms(self):
+        sparse = VertexSubset(6, ids=[2])
+        dense = VertexSubset(6, mask=sparse.mask())
+        assert 2 in sparse and 2 in dense
+        assert 3 not in sparse and 3 not in dense

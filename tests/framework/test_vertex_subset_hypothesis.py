@@ -1,0 +1,53 @@
+"""Property-based tests for VertexSubset representation equivalence."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.framework import VertexSubset
+
+
+@st.composite
+def subsets(draw):
+    n = draw(st.integers(min_value=1, max_value=64))
+    ids = draw(
+        st.lists(st.integers(min_value=0, max_value=n - 1), max_size=n)
+    )
+    return n, np.array(sorted(set(ids)), dtype=np.int64)
+
+
+class TestRepresentationEquivalence:
+    @given(subsets())
+    @settings(max_examples=60, deadline=None)
+    def test_sparse_dense_roundtrip(self, data):
+        n, ids = data
+        sparse = VertexSubset(n, ids=ids)
+        dense = VertexSubset(n, mask=sparse.mask())
+        assert np.array_equal(dense.ids(), sparse.ids())
+        assert len(dense) == len(sparse) == ids.size
+
+    @given(subsets())
+    @settings(max_examples=60, deadline=None)
+    def test_membership_consistent(self, data):
+        n, ids = data
+        subset = VertexSubset(n, ids=ids)
+        members = set(ids.tolist())
+        for v in range(n):
+            assert (v in subset) == (v in members)
+
+    @given(subsets())
+    @settings(max_examples=60, deadline=None)
+    def test_mask_cardinality(self, data):
+        n, ids = data
+        subset = VertexSubset(n, ids=ids)
+        assert int(subset.mask().sum()) == len(subset)
+
+    @given(subsets())
+    @settings(max_examples=60, deadline=None)
+    def test_ids_sorted_unique(self, data):
+        n, ids = data
+        # Feed duplicates and reversed order; the subset must normalize.
+        doubled = np.concatenate([ids[::-1], ids])
+        subset = VertexSubset(n, ids=doubled) if doubled.size else VertexSubset(n, ids=ids)
+        out = subset.ids()
+        assert np.array_equal(out, np.unique(out))

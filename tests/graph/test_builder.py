@@ -1,0 +1,82 @@
+"""Tests for edge-list / networkx builders."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import from_edges, from_networkx, to_networkx
+
+
+class TestFromEdges:
+    def test_basic(self):
+        g = from_edges(3, np.array([(0, 1), (1, 2)]))
+        assert g.num_edges == 2
+        assert g.out_neighbors(0).tolist() == [1]
+
+    def test_empty_edge_list(self):
+        g = from_edges(5, np.empty((0, 2)))
+        assert g.num_edges == 0
+        assert g.num_vertices == 5
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            from_edges(3, np.array([0, 1, 2]))
+
+    def test_dedup(self):
+        edges = np.array([(0, 1), (0, 1), (1, 2)])
+        g = from_edges(3, edges, dedup=True)
+        assert g.num_edges == 2
+
+    def test_dedup_keeps_first_weight(self):
+        edges = np.array([(0, 1), (0, 1)])
+        g = from_edges(2, edges, np.array([5.0, 9.0]), dedup=True)
+        assert g.out_weights.tolist() == [5.0]
+
+    def test_symmetrize(self):
+        g = from_edges(3, np.array([(0, 1)]), symmetrize=True)
+        assert g.num_edges == 2
+        assert g.out_neighbors(1).tolist() == [0]
+
+    def test_symmetrize_weights(self):
+        g = from_edges(3, np.array([(0, 1)]), np.array([4.0]), symmetrize=True)
+        assert g.out_weights.tolist() == [4.0, 4.0]
+
+    def test_drop_self_loops(self):
+        g = from_edges(3, np.array([(0, 0), (0, 1)]), drop_self_loops=True)
+        assert g.num_edges == 1
+
+    def test_self_loops_kept_by_default(self):
+        g = from_edges(3, np.array([(0, 0), (0, 1)]))
+        assert g.num_edges == 2
+
+    def test_parallel_edges_kept_without_dedup(self):
+        g = from_edges(2, np.array([(0, 1), (0, 1), (0, 1)]))
+        assert g.out_degrees()[0] == 3
+
+
+class TestNetworkxRoundtrip:
+    def test_digraph_roundtrip(self):
+        nxg = nx.gnp_random_graph(20, 0.2, seed=4, directed=True)
+        g = from_networkx(nxg)
+        back = to_networkx(g)
+        assert set(back.edges()) == set(nxg.edges())
+
+    def test_undirected_is_symmetrized(self):
+        nxg = nx.path_graph(4)
+        g = from_networkx(nxg)
+        assert g.num_edges == 6  # 3 undirected edges -> 6 directed
+
+    def test_weights_roundtrip(self):
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from(range(3))
+        nxg.add_weighted_edges_from([(0, 1, 2.5), (1, 2, 4.0)])
+        g = from_networkx(nxg, weight="weight")
+        back = to_networkx(g)
+        assert back[0][1]["weight"] == 2.5
+        assert back[1][2]["weight"] == 4.0
+
+    def test_non_contiguous_nodes_rejected(self):
+        nxg = nx.DiGraph()
+        nxg.add_edge(0, 5)
+        with pytest.raises(ValueError):
+            from_networkx(nxg)

@@ -1,0 +1,184 @@
+"""Unit tests for the dual-CSR Graph structure."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, from_edges
+from tests.conftest import make_random_graph
+
+
+def simple_graph():
+    # The paper's Fig. 1 example: in-edges of each vertex.
+    edges = np.array(
+        [(3, 0), (2, 1), (0, 1), (5, 1), (1, 2), (5, 3), (4, 3), (5, 3), (2, 4), (5, 5)]
+    )
+    return from_edges(6, edges)
+
+
+class TestConstruction:
+    def test_counts(self):
+        g = simple_graph()
+        assert g.num_vertices == 6
+        assert g.num_edges == 10
+
+    def test_in_neighbors_match_fig1(self):
+        g = simple_graph()
+        assert sorted(g.in_neighbors(1).tolist()) == [0, 2, 5]
+        assert sorted(g.in_neighbors(3).tolist()) == [4, 5, 5]
+        assert g.in_neighbors(0).tolist() == [3]
+
+    def test_out_neighbors(self):
+        g = simple_graph()
+        assert sorted(g.out_neighbors(5).tolist()) == [1, 3, 3, 5]
+        assert g.out_neighbors(1).tolist() == [2]
+
+    def test_degrees_sum_to_edges(self):
+        g = simple_graph()
+        assert g.in_degrees().sum() == g.num_edges
+        assert g.out_degrees().sum() == g.num_edges
+
+    def test_degrees_kinds(self):
+        g = simple_graph()
+        assert np.array_equal(g.degrees("both"), g.in_degrees() + g.out_degrees())
+        with pytest.raises(ValueError):
+            g.degrees("sideways")
+
+    def test_average_degree(self):
+        g = simple_graph()
+        assert g.average_degree() == pytest.approx(10 / 6)
+
+    def test_empty_graph(self):
+        g = from_edges(4, np.empty((0, 2), dtype=np.int64))
+        assert g.num_edges == 0
+        assert g.average_degree() == 1.0 or g.average_degree() == 0.0
+
+    def test_zero_vertices(self):
+        g = from_edges(0, np.empty((0, 2), dtype=np.int64))
+        assert g.num_vertices == 0
+        assert g.average_degree() == 0.0
+
+    def test_edge_array_roundtrip(self):
+        g = simple_graph()
+        src, dst = g.edge_array()
+        rebuilt = from_edges(6, np.stack([src, dst], axis=1))
+        assert rebuilt == g
+
+    def test_out_of_range_endpoint_rejected(self):
+        with pytest.raises(ValueError):
+            from_edges(3, np.array([(0, 3)]))
+        with pytest.raises(ValueError):
+            from_edges(3, np.array([(-1, 0)]))
+
+    def test_mismatched_csr_rejected(self):
+        g = simple_graph()
+        with pytest.raises(ValueError):
+            Graph(g.out_offsets, g.out_targets, g.in_offsets, g.in_sources[:-1])
+
+    def test_bad_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(
+                np.array([1, 2]),  # does not start at 0
+                np.array([0], dtype=np.int32),
+                np.array([0, 1]),
+                np.array([0], dtype=np.int32),
+            )
+
+    def test_one_weight_array_rejected(self):
+        g = simple_graph()
+        with pytest.raises(ValueError):
+            Graph(
+                g.out_offsets, g.out_targets, g.in_offsets, g.in_sources,
+                out_weights=np.ones(g.num_edges), in_weights=None,
+            )
+
+
+class TestWeighted:
+    def test_weights_follow_edges(self):
+        edges = np.array([(0, 1), (1, 2), (2, 0)])
+        weights = np.array([3.0, 5.0, 7.0])
+        g = from_edges(3, edges, weights)
+        assert g.is_weighted
+        # Out-CSR order: vertex 0's single edge has weight 3.
+        assert g.out_weights[g.out_offsets[0]] == 3.0
+        # In-CSR: vertex 0's single in-edge (from 2) has weight 7.
+        assert g.in_weights[g.in_offsets[0]] == 7.0
+
+    def test_weight_count_must_match(self):
+        with pytest.raises(ValueError):
+            from_edges(3, np.array([(0, 1)]), np.array([1.0, 2.0]))
+
+
+class TestRelabel:
+    def test_identity_mapping_is_noop(self):
+        g = make_random_graph(seed=1)
+        assert g.relabel(np.arange(g.num_vertices)) == g
+
+    def test_relabel_preserves_edge_multiset(self):
+        g = make_random_graph(num_vertices=30, num_edges=120, seed=2)
+        rng = np.random.default_rng(9)
+        mapping = rng.permutation(g.num_vertices)
+        h = g.relabel(mapping)
+        src, dst = g.edge_array()
+        hs, hd = h.edge_array()
+        original = sorted(zip(mapping[src].tolist(), mapping[dst].tolist()))
+        relabelled = sorted(zip(hs.tolist(), hd.tolist()))
+        assert original == relabelled
+
+    def test_relabel_preserves_degree_multiset(self):
+        g = make_random_graph(seed=3)
+        mapping = np.random.default_rng(1).permutation(g.num_vertices)
+        h = g.relabel(mapping)
+        assert sorted(g.out_degrees().tolist()) == sorted(h.out_degrees().tolist())
+        assert np.array_equal(g.out_degrees(), h.out_degrees()[mapping])
+
+    def test_relabel_carries_weights(self):
+        g = make_random_graph(weighted=True, seed=4)
+        mapping = np.random.default_rng(2).permutation(g.num_vertices)
+        h = g.relabel(mapping)
+        assert h.is_weighted
+        # Total weight is invariant.
+        assert h.out_weights.sum() == pytest.approx(g.out_weights.sum())
+        # Per-edge weights follow their edge.
+        src, dst = g.edge_array()
+        orig = sorted(zip(mapping[src].tolist(), mapping[dst].tolist(), g.out_weights.tolist()))
+        hs, hd = h.edge_array()
+        new = sorted(zip(hs.tolist(), hd.tolist(), h.out_weights.tolist()))
+        assert orig == new
+
+    def test_non_permutation_rejected(self):
+        g = make_random_graph()
+        bad = np.zeros(g.num_vertices, dtype=np.int64)
+        with pytest.raises(ValueError):
+            g.relabel(bad)
+
+    def test_wrong_length_rejected(self):
+        g = make_random_graph()
+        with pytest.raises(ValueError):
+            g.relabel(np.arange(g.num_vertices - 1))
+
+    def test_double_relabel_composes(self):
+        g = make_random_graph(num_vertices=20, num_edges=60, seed=5)
+        rng = np.random.default_rng(3)
+        m1 = rng.permutation(20)
+        m2 = rng.permutation(20)
+        once = g.relabel(m2[m1])
+        twice = g.relabel(m1).relabel(m2)
+        assert once == twice
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        a = make_random_graph(seed=7)
+        b = make_random_graph(seed=7)
+        assert a == b
+
+    def test_different_graphs(self):
+        assert make_random_graph(seed=7) != make_random_graph(seed=8)
+
+    def test_weighted_vs_unweighted(self):
+        a = make_random_graph(seed=7)
+        b = make_random_graph(seed=7, weighted=True)
+        assert a != b
+
+    def test_non_graph_comparison(self):
+        assert make_random_graph() != "graph"

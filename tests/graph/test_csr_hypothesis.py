@@ -1,0 +1,101 @@
+"""Property-based tests for the CSR substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import from_edges
+
+
+@st.composite
+def edge_lists(draw, max_vertices=24, max_edges=80):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    num_edges = draw(st.integers(min_value=0, max_value=max_edges))
+    endpoints = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            min_size=num_edges,
+            max_size=num_edges,
+        )
+    )
+    return n, np.array(endpoints, dtype=np.int64).reshape(-1, 2)
+
+
+@st.composite
+def graphs_and_permutations(draw):
+    n, edges = draw(edge_lists())
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    perm = np.random.default_rng(seed).permutation(n)
+    return from_edges(n, edges), perm
+
+
+class TestCsrInvariants:
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_degree_sums_equal_edges(self, data):
+        n, edges = data
+        g = from_edges(n, edges)
+        assert g.in_degrees().sum() == g.num_edges
+        assert g.out_degrees().sum() == g.num_edges
+        assert g.num_edges == len(edges)
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_offsets_monotone(self, data):
+        n, edges = data
+        g = from_edges(n, edges)
+        assert np.all(np.diff(g.out_offsets) >= 0)
+        assert np.all(np.diff(g.in_offsets) >= 0)
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_in_and_out_encode_same_multiset(self, data):
+        n, edges = data
+        g = from_edges(n, edges)
+        out_pairs = sorted(zip(*[a.tolist() for a in g.edge_array()]))
+        in_pairs = sorted(
+            (int(s), int(d))
+            for d in range(n)
+            for s in g.in_neighbors(d)
+        )
+        assert out_pairs == in_pairs
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_through_edge_array(self, data):
+        n, edges = data
+        g = from_edges(n, edges)
+        src, dst = g.edge_array()
+        assert from_edges(n, np.stack([src, dst], axis=1)) == g
+
+
+class TestRelabelInvariants:
+    @given(graphs_and_permutations())
+    @settings(max_examples=60, deadline=None)
+    def test_relabel_preserves_multiset(self, data):
+        g, perm = data
+        h = g.relabel(perm)
+        src, dst = g.edge_array()
+        hs, hd = h.edge_array()
+        assert sorted(zip(perm[src].tolist(), perm[dst].tolist())) == sorted(
+            zip(hs.tolist(), hd.tolist())
+        )
+
+    @given(graphs_and_permutations())
+    @settings(max_examples=60, deadline=None)
+    def test_relabel_by_inverse_restores(self, data):
+        g, perm = data
+        inverse = np.empty_like(perm)
+        inverse[perm] = np.arange(perm.size)
+        assert g.relabel(perm).relabel(inverse) == g
+
+    @given(graphs_and_permutations())
+    @settings(max_examples=60, deadline=None)
+    def test_degrees_travel_with_vertices(self, data):
+        g, perm = data
+        h = g.relabel(perm)
+        assert np.array_equal(h.in_degrees()[perm], g.in_degrees())
+        assert np.array_equal(h.out_degrees()[perm], g.out_degrees())

@@ -1,0 +1,86 @@
+"""Tests for the dataset-analog registry and its paper calibration."""
+
+import pytest
+
+from repro.graph.generators import (
+    DATASETS,
+    NO_SKEW_DATASETS,
+    SKEWED_DATASETS,
+    STRUCTURED_DATASETS,
+    UNSTRUCTURED_DATASETS,
+    dataset_table,
+    load_dataset,
+)
+from repro.graph.properties import locality_score, skew_summary
+
+
+class TestRegistry:
+    def test_all_paper_datasets_present(self):
+        assert set(SKEWED_DATASETS) == {"kr", "pl", "tw", "sd", "lj", "wl", "fr", "mp"}
+        assert set(NO_SKEW_DATASETS) == {"uni", "road"}
+        assert set(SKEWED_DATASETS) == set(STRUCTURED_DATASETS) | set(
+            UNSTRUCTURED_DATASETS
+        )
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError):
+            load_dataset("nope")
+
+    def test_memoization_returns_same_object(self):
+        assert load_dataset("lj") is load_dataset("lj")
+
+    def test_scale_changes_size(self):
+        small = load_dataset("lj", scale=0.5)
+        full = load_dataset("lj", scale=1.0)
+        assert small.num_vertices == pytest.approx(full.num_vertices * 0.5, rel=0.05)
+
+    def test_weighted_variant(self):
+        g = load_dataset("lj", weighted=True)
+        assert g.is_weighted
+        assert g.out_weights.min() >= 1
+        # Same topology as the unweighted graph.
+        assert g.num_edges == load_dataset("lj").num_edges
+
+
+@pytest.mark.parametrize("name", SKEWED_DATASETS)
+class TestSkewCalibration:
+    def test_hot_minority_with_edge_majority(self, name):
+        s = skew_summary(load_dataset(name, scale=0.5))
+        assert s.hot_vertex_pct_in < 35, "hot vertices must be a minority"
+        assert s.edge_coverage_pct_in > 60, "hot vertices must own most edges"
+
+    def test_average_degree_near_spec(self, name):
+        g = load_dataset(name, scale=0.5)
+        spec = DATASETS[name]
+        # Self-loop removal shaves a little off the requested average.
+        assert g.average_degree() == pytest.approx(spec.avg_degree, rel=0.15)
+
+
+class TestStructureCalibration:
+    def test_structured_analogs_have_order_locality(self):
+        for name in STRUCTURED_DATASETS:
+            assert locality_score(load_dataset(name, scale=0.5), 64) > 0.3, name
+
+    def test_kr_has_none(self):
+        assert locality_score(load_dataset("kr", scale=0.5), 64) < 0.05
+
+    def test_structured_beat_unstructured(self):
+        structured = min(
+            locality_score(load_dataset(n, scale=0.5), 64) for n in STRUCTURED_DATASETS
+        )
+        unstructured = max(
+            locality_score(load_dataset(n, scale=0.5), 64)
+            for n in UNSTRUCTURED_DATASETS
+        )
+        assert structured > unstructured
+
+
+class TestDatasetTable:
+    def test_covers_all_datasets(self):
+        rows = dataset_table(scale=0.5)
+        assert [r["dataset"] for r in rows] == SKEWED_DATASETS + NO_SKEW_DATASETS
+
+    def test_paper_references_present(self):
+        for row in dataset_table(scale=0.5):
+            assert row["paper_vertices"] is not None
+            assert row["paper_edges"] is not None

@@ -1,0 +1,190 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    chung_lu_graph,
+    community_graph,
+    powerlaw_degree_sequence,
+    rmat_graph,
+    road_graph,
+    uniform_graph,
+)
+from repro.graph.generators.community import community_sizes
+from repro.graph.generators.rmat import rmat_edges
+from repro.graph.generators.powerlaw import sample_edges_by_weight
+from repro.graph.properties import locality_score, skew_summary
+
+
+class TestRmat:
+    def test_vertex_and_edge_counts(self):
+        g = rmat_graph(10, avg_degree=8.0, seed=1)
+        assert g.num_vertices == 1024
+        # Self-loop removal trims a few edges.
+        assert g.num_edges == pytest.approx(8 * 1024, rel=0.02)
+
+    def test_determinism(self):
+        assert rmat_graph(8, seed=5) == rmat_graph(8, seed=5)
+        assert rmat_graph(8, seed=5) != rmat_graph(8, seed=6)
+
+    def test_skewed_parameters_give_skew(self):
+        g = rmat_graph(12, avg_degree=16.0, seed=2)
+        s = skew_summary(g)
+        # Hot vertices are a minority attached to the majority of edges.
+        assert s.hot_vertex_pct_out < 35
+        assert s.edge_coverage_pct_out > 60
+
+    def test_no_structure_in_ordering(self):
+        g = rmat_graph(12, avg_degree=16.0, seed=3)
+        assert locality_score(g) < 0.02
+
+    def test_bad_probabilities_rejected(self):
+        with pytest.raises(ValueError):
+            rmat_edges(4, 10, a=0.6, b=0.3, c=0.2)
+
+    def test_edges_in_range(self):
+        edges = rmat_edges(6, 500, rng=np.random.default_rng(0))
+        assert edges.min() >= 0
+        assert edges.max() < 64
+
+
+class TestUniform:
+    def test_counts(self):
+        g = uniform_graph(1000, avg_degree=10.0, seed=1)
+        assert g.num_vertices == 1000
+        assert g.num_edges == pytest.approx(10_000, rel=0.02)
+
+    def test_no_skew(self):
+        g = uniform_graph(5000, avg_degree=20.0, seed=2)
+        s = skew_summary(g)
+        # Poisson-ish distribution: roughly half the vertices are >= mean.
+        assert 35 < s.hot_vertex_pct_out < 65
+
+
+class TestPowerlawSequence:
+    def test_mean_is_exact(self):
+        degrees = powerlaw_degree_sequence(2000, 12.0, rng=np.random.default_rng(1))
+        assert degrees.sum() == 12 * 2000
+
+    def test_nonnegative(self):
+        degrees = powerlaw_degree_sequence(500, 3.0, rng=np.random.default_rng(2))
+        assert degrees.min() >= 0
+
+    def test_heavier_tail_with_smaller_exponent(self):
+        # Compare without the truncation cap, which otherwise rebalances the
+        # tail mass during mean-rescaling.
+        rng1, rng2 = np.random.default_rng(3), np.random.default_rng(3)
+        heavy = powerlaw_degree_sequence(
+            5000, 10.0, exponent=1.6, max_degree_frac=10.0, rng=rng1
+        )
+        light = powerlaw_degree_sequence(
+            5000, 10.0, exponent=2.5, max_degree_frac=10.0, rng=rng2
+        )
+
+        def top_percent_share(degrees):
+            k = max(len(degrees) // 100, 1)
+            top = np.sort(degrees)[-k:]
+            return top.sum() / degrees.sum()
+
+        assert top_percent_share(heavy) > top_percent_share(light)
+
+    def test_max_degree_capped(self):
+        degrees = powerlaw_degree_sequence(
+            1000, 10.0, exponent=1.5, max_degree_frac=0.02, rng=np.random.default_rng(4)
+        )
+        # Cap is applied before rescaling, so allow the rescale factor.
+        assert degrees.max() <= 0.02 * 1000 * 3
+
+    def test_bad_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            powerlaw_degree_sequence(100, 5.0, exponent=1.0)
+
+
+class TestSampleByWeight:
+    def test_proportionality(self):
+        weights = np.array([1.0, 0.0, 3.0])
+        rng = np.random.default_rng(5)
+        picks = sample_edges_by_weight(weights, 40_000, rng)
+        counts = np.bincount(picks, minlength=3)
+        assert counts[1] == 0
+        assert counts[2] / counts[0] == pytest.approx(3.0, rel=0.1)
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ValueError):
+            sample_edges_by_weight(np.zeros(3), 10, np.random.default_rng(0))
+
+
+class TestChungLu:
+    def test_out_degrees_match_request(self):
+        degrees = np.array([5, 0, 3, 2])
+        g = chung_lu_graph(degrees, seed=1)
+        # Self-loop removal can only lower them.
+        assert np.all(g.out_degrees() <= degrees)
+        assert g.out_degrees().sum() >= degrees.sum() - 4
+
+    def test_shuffle_ids_preserves_degree_multiset(self):
+        degrees = powerlaw_degree_sequence(300, 6.0, rng=np.random.default_rng(7))
+        plain = chung_lu_graph(degrees, seed=2, shuffle_ids=False)
+        shuffled = chung_lu_graph(degrees, seed=2, shuffle_ids=True)
+        assert sorted(plain.out_degrees().tolist()) == sorted(
+            shuffled.out_degrees().tolist()
+        )
+
+
+class TestCommunitySizes:
+    def test_cover_exactly(self):
+        sizes = community_sizes(1000, 16, 128, np.random.default_rng(1))
+        assert sizes.sum() == 1000
+        assert sizes.max() <= 128
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            community_sizes(100, 0, 10, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            community_sizes(100, 20, 10, np.random.default_rng(0))
+
+
+class TestCommunityGraph:
+    def test_structure_in_original_order(self):
+        g = community_graph(2000, 8.0, intra_fraction=0.8, seed=1)
+        assert locality_score(g, window=64) > 0.4
+
+    def test_intra_fraction_zero_gives_no_structure(self):
+        none = community_graph(2000, 8.0, intra_fraction=0.0, seed=2)
+        strong = community_graph(2000, 8.0, intra_fraction=0.9, seed=2)
+        assert locality_score(strong, 64) > locality_score(none, 64) + 0.3
+
+    def test_hub_grouping_raises_hot_density(self):
+        from repro.graph.properties import hot_vertices_per_block
+
+        flat = community_graph(3000, 10.0, hub_grouping=0.0, seed=3)
+        grouped = community_graph(3000, 10.0, hub_grouping=0.9, seed=3)
+        assert hot_vertices_per_block(grouped) > hot_vertices_per_block(flat)
+
+    def test_bad_intra_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            community_graph(100, 4.0, intra_fraction=1.5)
+
+    def test_determinism(self):
+        assert community_graph(500, 6.0, seed=9) == community_graph(500, 6.0, seed=9)
+
+
+class TestRoad:
+    def test_counts_and_sparsity(self):
+        g = road_graph(5000, avg_degree=1.2, seed=1)
+        assert g.num_vertices == 5000
+        assert g.num_edges == pytest.approx(6000, rel=0.07)
+
+    def test_high_locality(self):
+        g = road_graph(5000, seed=2)
+        # Lattice neighbours are within one row: |u - v| <= side.
+        assert locality_score(g, window=int(np.ceil(np.sqrt(5000)))) == 1.0
+
+    def test_no_skew(self):
+        g = road_graph(5000, avg_degree=2.0, seed=3)
+        assert g.out_degrees().max() <= 4
+
+    def test_bad_degree_rejected(self):
+        with pytest.raises(ValueError):
+            road_graph(100, avg_degree=9.0)

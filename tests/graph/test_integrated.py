@@ -1,0 +1,60 @@
+"""Tests for generation-integrated DBG ordering (paper Section VIII-A)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators.community import community_edge_stream, community_graph
+from repro.graph.generators.integrated import generate_dbg_ordered
+from repro.graph.properties import hot_vertices_per_block
+from repro.reorder import DBG
+
+
+class TestEdgeStream:
+    def test_stream_matches_graph(self):
+        src, dst, degrees = community_edge_stream(500, 8.0, seed=1)
+        g = community_graph(500, 8.0, seed=1)
+        # Same stream modulo self-loop dropping in the graph builder.
+        kept = src != dst
+        assert g.num_edges == int(kept.sum())
+        assert degrees.sum() == src.size
+
+    def test_degrees_are_emitted_out_degrees(self):
+        src, dst, degrees = community_edge_stream(300, 6.0, seed=2)
+        emitted = np.bincount(src, minlength=300)
+        assert np.array_equal(emitted, degrees)
+
+
+class TestIntegratedGeneration:
+    @pytest.fixture(scope="class")
+    def result(self):
+        generate_dbg_ordered(4000, 10.0, exponent=1.7, seed=5)  # warm the path
+        return generate_dbg_ordered(4000, 10.0, exponent=1.7, seed=5)
+
+    def test_graph_is_dbg_ordered_at_birth(self, result):
+        """Applying DBG to the integrated graph must be (near) a no-op."""
+        graph = result.graph
+        packed_at_birth = hot_vertices_per_block(graph)
+        reordered = DBG(degree_kind="out").apply(graph).graph
+        assert packed_at_birth >= hot_vertices_per_block(reordered) - 0.2
+        assert packed_at_birth > 4.0
+
+    def test_mapping_is_permutation(self, result):
+        assert sorted(result.mapping.tolist()) == list(range(4000))
+
+    def test_both_pipelines_timed(self, result):
+        assert result.integrated_seconds > 0
+        assert result.posthoc_seconds > 0
+
+    def test_integrated_is_cheaper(self):
+        """The Section VIII-A claim: skipping the CSR rebuild saves time."""
+        generate_dbg_ordered(20_000, 15.0, exponent=1.7, seed=3)  # warm
+        best_saving = max(
+            generate_dbg_ordered(20_000, 15.0, exponent=1.7, seed=3).saving_fraction
+            for _ in range(3)
+        )
+        assert best_saving > 0.10
+
+    def test_no_comparison_mode(self):
+        result = generate_dbg_ordered(1000, 8.0, seed=7, compare_posthoc=False)
+        assert result.posthoc_seconds == 0.0
+        assert result.saving_fraction == 0.0

@@ -1,0 +1,111 @@
+"""Tests for skew/structure analytics (the paper's Tables I-IV inputs)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edges
+from repro.graph.properties import (
+    hot_degree_distribution,
+    hot_footprint_bytes,
+    hot_mask,
+    hot_threshold,
+    hot_vertices_per_block,
+    locality_score,
+    skew_summary,
+)
+from tests.conftest import make_paper_example_graph
+
+
+class TestHotClassification:
+    def test_threshold_is_average_degree(self, paper_graph):
+        assert hot_threshold(paper_graph) == pytest.approx(20.0)
+
+    def test_paper_example_hot_set(self, paper_graph):
+        hot = hot_mask(paper_graph, kind="out")
+        assert np.flatnonzero(hot).tolist() == [2, 4, 5, 6, 8, 9]
+
+    def test_custom_threshold(self, paper_graph):
+        hottest = hot_mask(paper_graph, kind="out", threshold=40)
+        assert np.flatnonzero(hottest).tolist() == [2, 9]
+
+
+class TestSkewSummary:
+    def test_paper_example(self, paper_graph):
+        s = skew_summary(paper_graph)
+        assert s.hot_vertex_pct_out == pytest.approx(50.0)
+        hot_edges = 54 + 22 + 25 + 21 + 28 + 70  # = 220 of 240 total
+        assert s.edge_coverage_pct_out == pytest.approx(100.0 * hot_edges / 240)
+
+    def test_uniform_degrees_all_hot(self):
+        g = from_edges(4, np.array([(0, 1), (1, 2), (2, 3), (3, 0)]))
+        s = skew_summary(g)
+        assert s.hot_vertex_pct_out == 100.0
+        assert s.edge_coverage_pct_out == 100.0
+
+
+class TestHotVerticesPerBlock:
+    def test_adjacent_hot_vertices_pack(self):
+        # 16 vertices; hot ones at 0..7 -> one full block of 8.
+        edges = [(v, (v + 1) % 16) for v in range(16)]
+        edges += [(v, w) for v in range(8) for w in range(8, 16)]
+        g = from_edges(16, np.array(edges))
+        assert hot_vertices_per_block(g, kind="out") == pytest.approx(8.0)
+
+    def test_scattered_hot_vertices(self):
+        # Hot vertices every 8 IDs -> 1 hot vertex per block.
+        n = 32
+        edges = [(v, (v + 1) % n) for v in range(n)]
+        for v in range(0, n, 8):
+            edges += [(v, (v + k) % n) for k in range(2, 12)]
+        g = from_edges(n, np.array(edges))
+        assert hot_vertices_per_block(g, kind="out") == pytest.approx(1.0)
+
+    def test_no_hot_vertices(self):
+        g = from_edges(2, np.empty((0, 2)))
+        assert hot_vertices_per_block(g) == 0.0
+
+    def test_property_too_large_rejected(self, paper_graph):
+        with pytest.raises(ValueError):
+            hot_vertices_per_block(paper_graph, property_bytes=128)
+
+
+class TestFootprintAndDistribution:
+    def test_footprint(self, paper_graph):
+        assert hot_footprint_bytes(paper_graph, kind="out") == 6 * 8
+        assert hot_footprint_bytes(paper_graph, kind="out", property_bytes=16) == 96
+
+    def test_distribution_sums_to_100(self, paper_graph):
+        rows = hot_degree_distribution(paper_graph, kind="out")
+        assert sum(r["vertex_pct"] for r in rows) == pytest.approx(100.0)
+
+    def test_distribution_paper_example(self, paper_graph):
+        rows = hot_degree_distribution(paper_graph, kind="out")
+        # A=20: [20,40) holds degrees 22,25,21,28; [40,80) wait ranges are
+        # [A,2A)=[20,40) -> 4 vertices, [2A,4A)=[40,80) -> 54,70.
+        assert rows[0]["vertex_pct"] == pytest.approx(100.0 * 4 / 6)
+        assert rows[1]["vertex_pct"] == pytest.approx(100.0 * 2 / 6)
+
+    def test_distribution_footprint(self, paper_graph):
+        rows = hot_degree_distribution(paper_graph, kind="out")
+        total = sum(r["footprint_bytes"] for r in rows)
+        assert total == hot_footprint_bytes(paper_graph, kind="out")
+
+
+class TestLocalityScore:
+    def test_chain_is_perfectly_local(self):
+        g = from_edges(10, np.array([(v, v + 1) for v in range(9)]))
+        assert locality_score(g, window=1) == 1.0
+
+    def test_long_range_edges_score_zero(self):
+        g = from_edges(100, np.array([(0, 50), (10, 90)]))
+        assert locality_score(g, window=8) == 0.0
+
+    def test_empty_graph(self):
+        g = from_edges(4, np.empty((0, 2)))
+        assert locality_score(g) == 0.0
+
+    def test_shuffling_reduces_locality(self, tiny_community_graph):
+        g = tiny_community_graph
+        rng = np.random.default_rng(0)
+        shuffled = g.relabel(rng.permutation(g.num_vertices))
+        assert locality_score(shuffled) < locality_score(g) / 2

@@ -1,0 +1,75 @@
+"""Tests for graph integrity validation."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, from_edges
+from repro.graph.validate import validate_graph
+from tests.conftest import make_random_graph
+
+
+class TestValidGraphs:
+    def test_clean_graph_passes(self):
+        g = make_random_graph(seed=5, dedup=True)
+        report = validate_graph(g)
+        assert report.ok
+        report.raise_if_invalid()  # must not raise
+
+    def test_stats_populated(self, small_graph):
+        report = validate_graph(small_graph)
+        assert report.stats["num_vertices"] == small_graph.num_vertices
+        assert report.stats["num_edges"] == small_graph.num_edges
+        assert report.stats["avg_degree"] > 0
+
+    def test_weighted_graph_passes(self, weighted_graph):
+        assert validate_graph(weighted_graph).ok
+
+
+class TestWarnings:
+    def test_self_loops_flagged(self):
+        g = from_edges(3, np.array([(0, 0), (0, 1)]))
+        report = validate_graph(g)
+        assert report.ok
+        assert any("self loops" in w for w in report.warnings)
+
+    def test_parallel_edges_flagged(self):
+        g = from_edges(3, np.array([(0, 1), (0, 1)]))
+        report = validate_graph(g)
+        assert any("parallel" in w for w in report.warnings)
+
+    def test_isolated_vertices_flagged(self):
+        g = from_edges(5, np.array([(0, 1)]))
+        report = validate_graph(g)
+        assert any("isolated" in w for w in report.warnings)
+
+    def test_low_skew_flagged(self):
+        # A ring has zero skew.
+        g = from_edges(50, np.array([(v, (v + 1) % 50) for v in range(50)]))
+        report = validate_graph(g)
+        assert any("skew" in w for w in report.warnings)
+
+    def test_skewed_dataset_not_flagged_for_skew(self):
+        from repro.graph.generators import load_dataset
+
+        report = validate_graph(load_dataset("lj", scale=0.5))
+        assert not any("skew" in w for w in report.warnings)
+
+
+class TestCorruption:
+    def test_mismatched_csr_detected(self):
+        g = make_random_graph(num_vertices=10, num_edges=30, seed=1)
+        # Forge a graph whose in-CSR belongs to a different edge set.
+        other = make_random_graph(num_vertices=10, num_edges=30, seed=2)
+        frankenstein = Graph(
+            g.out_offsets, g.out_targets, other.in_offsets, other.in_sources
+        )
+        report = validate_graph(frankenstein)
+        assert not report.ok
+        with pytest.raises(ValueError):
+            report.raise_if_invalid()
+
+    def test_nonfinite_weights_detected(self):
+        g = make_random_graph(weighted=True, seed=3)
+        g.out_weights[0] = np.inf
+        report = validate_graph(g)
+        assert not report.ok

@@ -1,0 +1,40 @@
+"""Tests for net speed-up and amortization arithmetic."""
+
+import math
+
+import pytest
+
+from repro.perfmodel import amortization_supersteps, net_speedup_pct
+
+
+class TestNetSpeedup:
+    def test_reorder_cost_reduces_speedup(self):
+        gross = net_speedup_pct(1000, 800, 0)
+        net = net_speedup_pct(1000, 800, 100)
+        assert gross == pytest.approx(25.0)
+        assert net < gross
+
+    def test_large_cost_makes_it_negative(self):
+        assert net_speedup_pct(1000, 800, 10_000) < -80
+
+    def test_zero_cost_matches_plain_speedup(self):
+        assert net_speedup_pct(1200, 1000, 0) == pytest.approx(20.0)
+
+
+class TestAmortization:
+    def test_basic(self):
+        # Gain of 100 cycles per unit, cost 500 -> 5 units.
+        assert amortization_supersteps(1000, 900, 500) == pytest.approx(5.0)
+
+    def test_no_gain_never_amortizes(self):
+        assert amortization_supersteps(1000, 1000, 500) == math.inf
+        assert amortization_supersteps(1000, 1100, 500) == math.inf
+
+    def test_free_reordering(self):
+        assert amortization_supersteps(1000, 900, 0) == 0.0
+
+    def test_breakeven_consistency(self):
+        """At exactly n units, baseline and reordered+cost runtimes match."""
+        base, unit, cost = 1000.0, 850.0, 1234.0
+        n = amortization_supersteps(base, unit, cost)
+        assert n * base == pytest.approx(n * unit + cost)

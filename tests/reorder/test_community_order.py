@@ -1,0 +1,83 @@
+"""Tests for the label-propagation community ordering."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edges
+from repro.graph.generators import community_graph
+from repro.graph.properties import locality_score
+from repro.reorder import CommunityOrder
+from repro.reorder.community_order import label_propagation_communities
+
+
+def two_cliques():
+    """Two directed 4-cliques joined by a single edge."""
+    edges = [(a, b) for a in range(4) for b in range(4) if a != b]
+    edges += [(a, b) for a in range(4, 8) for b in range(4, 8) if a != b]
+    edges.append((3, 4))
+    return from_edges(8, np.array(edges))
+
+
+class TestLabelPropagation:
+    def test_cliques_get_uniform_labels(self):
+        labels = label_propagation_communities(two_cliques())
+        assert len(set(labels[:4].tolist())) == 1
+        assert len(set(labels[4:].tolist())) == 1
+
+    def test_disconnected_components_distinct(self):
+        g = from_edges(6, np.array([(0, 1), (1, 0), (3, 4), (4, 3)]))
+        labels = label_propagation_communities(g)
+        assert labels[0] == labels[1]
+        assert labels[3] == labels[4]
+        assert labels[0] != labels[3]
+
+    def test_empty_graph(self):
+        g = from_edges(0, np.empty((0, 2)))
+        assert label_propagation_communities(g).size == 0
+
+    def test_deterministic(self, small_graph):
+        a = label_propagation_communities(small_graph)
+        b = label_propagation_communities(small_graph)
+        assert np.array_equal(a, b)
+
+
+class TestCommunityOrder:
+    def test_permutation(self, small_graph):
+        mapping = CommunityOrder().compute_mapping(small_graph)
+        assert sorted(mapping.tolist()) == list(range(small_graph.num_vertices))
+
+    def test_communities_laid_out_contiguously(self):
+        g = two_cliques()
+        mapping = CommunityOrder().compute_mapping(g)
+        first = sorted(mapping[:4].tolist())
+        second = sorted(mapping[4:].tolist())
+        # Each clique occupies a contiguous ID range.
+        assert first == list(range(first[0], first[0] + 4))
+        assert second == list(range(second[0], second[0] + 4))
+
+    def test_within_community_order_preserved(self):
+        g = two_cliques()
+        mapping = CommunityOrder().compute_mapping(g)
+        assert np.all(np.diff(mapping[:4]) > 0)
+        assert np.all(np.diff(mapping[4:]) > 0)
+
+    def test_recovers_shuffled_communities(self):
+        g = community_graph(3000, 10.0, exponent=1.7, intra_fraction=0.8, seed=3)
+        shuffled = g.relabel(np.random.default_rng(1).permutation(g.num_vertices))
+        reordered = shuffled.relabel(CommunityOrder().compute_mapping(shuffled))
+        assert locality_score(reordered, 64) > locality_score(shuffled, 64) * 5
+
+    def test_invalid_rounds(self):
+        with pytest.raises(ValueError):
+            CommunityOrder(rounds=0)
+
+    def test_registered(self):
+        from repro.reorder import make_technique
+
+        assert make_technique("Community").name == "Community"
+
+    def test_cost_model_covers_it(self, small_graph):
+        from repro.perfmodel import ReorderCostModel
+
+        cost = ReorderCostModel().total_cycles(CommunityOrder(), small_graph)
+        assert cost > 0

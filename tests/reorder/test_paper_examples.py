@@ -1,0 +1,89 @@
+"""The paper's worked example (Fig. 2 and Fig. 4), asserted exactly.
+
+The 12-vertex example has out-degrees [3, 4, 54, 4, 22, 25, 21, 3, 28, 70,
+4, 2]; hot vertices are those with degree >= 20 (the average) and the
+figures give the exact memory order each technique produces.
+"""
+
+import numpy as np
+import pytest
+
+from repro.reorder import DBG, HubCluster, HubSort, Sort, dbg_mapping
+
+
+def memory_order(mapping):
+    """Original vertex IDs in their new memory order."""
+    inverse = np.empty(mapping.size, dtype=int)
+    inverse[mapping] = np.arange(mapping.size)
+    return inverse.tolist()
+
+
+class TestFig2:
+    def test_sort(self, paper_graph):
+        mapping = Sort(degree_kind="out").compute_mapping(paper_graph)
+        # Fig. 2(b) Sort row: degrees 70 54 28 25 22 21 4 4 4 3 3 2.
+        assert memory_order(mapping) == [9, 2, 8, 5, 4, 6, 1, 3, 10, 0, 7, 11]
+
+    def test_hubsort(self, paper_graph):
+        mapping = HubSort(degree_kind="out").compute_mapping(paper_graph)
+        # Hot sorted descending, cold in original relative order.
+        assert memory_order(mapping) == [9, 2, 8, 5, 4, 6, 0, 1, 3, 7, 10, 11]
+
+    def test_hubcluster(self, paper_graph):
+        mapping = HubCluster(degree_kind="out").compute_mapping(paper_graph)
+        # Hot and cold both keep their original relative order.
+        assert memory_order(mapping) == [2, 4, 5, 6, 8, 9, 0, 1, 3, 7, 10, 11]
+
+    def test_sorted_degrees_descend(self, paper_graph):
+        mapping = Sort(degree_kind="out").compute_mapping(paper_graph)
+        degrees = paper_graph.out_degrees()
+        reordered = degrees[np.argsort(mapping)]
+        assert np.all(np.diff(reordered) <= 0)
+
+
+class TestFig4:
+    def test_dbg_with_paper_groups(self, paper_graph):
+        # Fig. 4 uses three explicit groups: [40, 80), [20, 40), [0, 20).
+        degrees = paper_graph.out_degrees()
+        mapping = dbg_mapping(degrees, [40.0, 20.0, 0.0])
+        assert memory_order(mapping) == [2, 9, 4, 5, 6, 8, 0, 1, 3, 7, 10, 11]
+
+    def test_dbg_default_groups_match_fig4(self, paper_graph):
+        # With A=20 and max degree 70 the default geometric boundaries
+        # collapse to the same three-group split (plus the [0, A/2) split of
+        # the cold region, which does not change this example's order).
+        mapping = DBG(degree_kind="out").compute_mapping(paper_graph)
+        order = memory_order(mapping)
+        assert order[:2] == [2, 9]
+        assert order[2:6] == [4, 5, 6, 8]
+
+    def test_dbg_preserves_neighbourhoods(self, paper_graph):
+        """Fig. 4's observation: (P4,P5,P6), (P0,P1), (P10,P11) stay adjacent."""
+        mapping = DBG(degree_kind="out").compute_mapping(paper_graph)
+        for group in ([4, 5, 6], [0, 1], [10, 11]):
+            positions = sorted(int(mapping[v]) for v in group)
+            assert positions == list(range(positions[0], positions[0] + len(group)))
+
+
+class TestListingOne:
+    """Direct checks of the DBG binning algorithm (paper Listing 1)."""
+
+    def test_every_vertex_in_exactly_one_group(self):
+        degrees = np.array([0, 1, 5, 19, 20, 39, 40, 100])
+        mapping = dbg_mapping(degrees, [40.0, 20.0, 0.0])
+        assert sorted(mapping.tolist()) == list(range(8))
+
+    def test_group_order_hottest_first(self):
+        degrees = np.array([0, 100, 20, 3])
+        mapping = dbg_mapping(degrees, [40.0, 20.0, 0.0])
+        assert mapping[1] == 0  # degree 100 -> first group
+        assert mapping[2] == 1  # degree 20 -> second group
+        assert mapping[0] > mapping[2] and mapping[3] > mapping[2]
+
+    def test_boundaries_must_end_at_zero(self):
+        with pytest.raises(ValueError):
+            dbg_mapping(np.array([1, 2]), [10.0, 5.0])
+
+    def test_boundaries_must_descend(self):
+        with pytest.raises(ValueError):
+            dbg_mapping(np.array([1, 2]), [5.0, 10.0, 0.0])

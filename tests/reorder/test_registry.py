@@ -1,0 +1,27 @@
+"""Tests for technique lookup by figure label."""
+
+import pytest
+
+from repro.reorder import TECHNIQUES, make_technique
+from repro.reorder.random_order import RandomCacheBlock
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", sorted(TECHNIQUES))
+    def test_every_entry_constructs(self, name):
+        technique = make_technique(name, degree_kind="in")
+        assert technique.degree_kind == "in"
+
+    def test_names_match_labels(self):
+        for name in TECHNIQUES:
+            assert make_technique(name).name == name
+
+    def test_rcb_labels(self):
+        technique = make_technique("RCB-4")
+        assert isinstance(technique, RandomCacheBlock)
+        assert technique.num_blocks == 4
+        assert technique.name == "RCB-4"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            make_technique("Alphabetical")

@@ -1,0 +1,106 @@
+"""Property-based invariants every reordering technique must satisfy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import from_edges
+from repro.reorder import (
+    DBG,
+    HubCluster,
+    HubClusterOriginal,
+    HubSort,
+    HubSortOriginal,
+    Original,
+    RandomCacheBlock,
+    RandomVertex,
+    Sort,
+    dbg_mapping,
+)
+
+ALL_TECHNIQUES = [
+    Original,
+    Sort,
+    HubSort,
+    HubSortOriginal,
+    HubCluster,
+    HubClusterOriginal,
+    DBG,
+    RandomVertex,
+    RandomCacheBlock,
+]
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(min_value=1, max_value=40))
+    num_edges = draw(st.integers(min_value=0, max_value=150))
+    seed = draw(st.integers(min_value=0, max_value=1000))
+    rng = np.random.default_rng(seed)
+    edges = rng.integers(0, n, size=(num_edges, 2))
+    return from_edges(n, edges)
+
+
+@pytest.mark.parametrize("technique_cls", ALL_TECHNIQUES)
+class TestTechniqueInvariants:
+    @given(graph=random_graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_mapping_is_permutation(self, technique_cls, graph):
+        mapping = technique_cls().compute_mapping(graph)
+        assert sorted(mapping.tolist()) == list(range(graph.num_vertices))
+
+    @given(graph=random_graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_relabelled_graph_is_isomorphic(self, technique_cls, graph):
+        technique = technique_cls()
+        mapping = technique.compute_mapping(graph)
+        relabelled = graph.relabel(mapping)
+        src, dst = graph.edge_array()
+        expect = sorted(zip(mapping[src].tolist(), mapping[dst].tolist()))
+        hs, hd = relabelled.edge_array()
+        assert expect == sorted(zip(hs.tolist(), hd.tolist()))
+
+    @given(graph=random_graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_deterministic(self, technique_cls, graph):
+        a = technique_cls().compute_mapping(graph)
+        b = technique_cls().compute_mapping(graph)
+        assert np.array_equal(a, b)
+
+
+class TestDbgMappingProperties:
+    @given(
+        degrees=st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=60),
+        num_groups=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_group_degree_ranges_descend_in_memory(self, degrees, num_groups):
+        degrees = np.array(degrees)
+        bounds = [float(2**k) for k in range(num_groups, 0, -1)] + [0.0]
+        mapping = dbg_mapping(degrees, bounds)
+        order = np.argsort(mapping)
+        group_of = [
+            next(i for i, low in enumerate(bounds) if degrees[v] >= low) for v in order
+        ]
+        assert group_of == sorted(group_of)
+
+    @given(degrees=st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_within_group_stability(self, degrees):
+        degrees = np.array(degrees)
+        bounds = [32.0, 8.0, 0.0]
+        mapping = dbg_mapping(degrees, bounds)
+        order = np.argsort(mapping)
+        for low, high in ((32.0, np.inf), (8.0, 32.0), (0.0, 8.0)):
+            members = [
+                int(v) for v in order if low <= degrees[v] < high
+            ]
+            assert members == sorted(members)
+
+    @given(degrees=st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_single_group_is_identity(self, degrees):
+        degrees = np.array(degrees)
+        mapping = dbg_mapping(degrees, [0.0])
+        assert np.array_equal(mapping, np.arange(degrees.size))

@@ -1,0 +1,279 @@
+"""Per-technique unit tests (semantics beyond the paper's worked example)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.properties import hot_mask, hot_vertices_per_block, locality_score
+from repro.reorder import (
+    DBG,
+    Composed,
+    Gorder,
+    HubCluster,
+    HubClusterOriginal,
+    HubSort,
+    HubSortOriginal,
+    Original,
+    RandomCacheBlock,
+    RandomVertex,
+    Sort,
+    dbg_boundaries,
+)
+from tests.conftest import make_random_graph
+
+
+def is_permutation(mapping, n):
+    return sorted(mapping.tolist()) == list(range(n))
+
+
+class TestOriginal:
+    def test_identity(self, small_graph):
+        mapping = Original().compute_mapping(small_graph)
+        assert np.array_equal(mapping, np.arange(small_graph.num_vertices))
+
+    def test_apply_returns_equal_graph(self, small_graph):
+        result = Original().apply(small_graph)
+        assert result.graph == small_graph
+        assert result.total_seconds >= 0
+
+
+class TestSort:
+    def test_descending_by_chosen_kind(self, small_graph):
+        for kind in ("in", "out", "both"):
+            mapping = Sort(degree_kind=kind).compute_mapping(small_graph)
+            reordered = small_graph.degrees(kind)[np.argsort(mapping)]
+            assert np.all(np.diff(reordered) <= 0)
+
+    def test_stability_on_ties(self):
+        g = make_random_graph(num_vertices=16, num_edges=16, seed=1)
+        mapping = Sort(degree_kind="out").compute_mapping(g)
+        degrees = g.out_degrees()
+        order = np.argsort(mapping)  # original IDs in new order
+        for a, b in zip(order, order[1:]):
+            if degrees[a] == degrees[b]:
+                assert a < b  # original relative order preserved within ties
+
+
+class TestHubSort:
+    def test_cold_order_preserved(self, paper_graph):
+        mapping = HubSort(degree_kind="out").compute_mapping(paper_graph)
+        cold = np.flatnonzero(~hot_mask(paper_graph, "out"))
+        positions = mapping[cold]
+        assert np.all(np.diff(positions) > 0)
+
+    def test_hot_before_cold(self, small_graph):
+        mapping = HubSort(degree_kind="out").compute_mapping(small_graph)
+        hot = hot_mask(small_graph, "out")
+        if hot.any() and (~hot).any():
+            assert mapping[hot].max() < mapping[~hot].min()
+
+
+class TestHubSortOriginal:
+    def test_permutation(self, small_graph):
+        mapping = HubSortOriginal(degree_kind="out").compute_mapping(small_graph)
+        assert is_permutation(mapping, small_graph.num_vertices)
+
+    def test_hot_before_cold(self, small_graph):
+        mapping = HubSortOriginal(degree_kind="out").compute_mapping(small_graph)
+        hot = hot_mask(small_graph, "out")
+        if hot.any() and (~hot).any():
+            assert mapping[hot].max() < mapping[~hot].min()
+
+    def test_sorted_within_chunks_only(self):
+        g = make_random_graph(num_vertices=200, num_edges=3000, seed=2)
+        chunked = HubSortOriginal(degree_kind="out", num_chunks=4).compute_mapping(g)
+        global_sorted = HubSortOriginal(degree_kind="out", num_chunks=1).compute_mapping(g)
+        degrees = g.out_degrees()
+        # One chunk == globally sorted hubs; with four chunks the global hot
+        # sequence is generally not descending.
+        hot_seq_1 = degrees[np.argsort(global_sorted)][: int(hot_mask(g, "out").sum())]
+        assert np.all(np.diff(hot_seq_1) <= 0)
+        hot_seq_4 = degrees[np.argsort(chunked)][: int(hot_mask(g, "out").sum())]
+        assert not np.all(np.diff(hot_seq_4) <= 0)
+
+    def test_bad_chunks_rejected(self):
+        with pytest.raises(ValueError):
+            HubSortOriginal(num_chunks=0)
+
+
+class TestHubCluster:
+    def test_two_stable_groups(self, small_graph):
+        mapping = HubCluster(degree_kind="out").compute_mapping(small_graph)
+        hot = hot_mask(small_graph, "out")
+        assert np.all(np.diff(mapping[hot]) > 0)
+        assert np.all(np.diff(mapping[~hot]) > 0)
+        if hot.any() and (~hot).any():
+            assert mapping[hot].max() < mapping[~hot].min()
+
+
+class TestHubClusterOriginal:
+    def test_chunk_interleaving(self):
+        g = make_random_graph(num_vertices=200, num_edges=3000, seed=3)
+        mapping = HubClusterOriginal(degree_kind="out", num_chunks=4).compute_mapping(g)
+        hot = hot_mask(g, "out")
+        # Hot region still precedes cold region...
+        assert mapping[hot].max() < mapping[~hot].min()
+        # ...but within the hot region, original order is NOT fully preserved
+        # (chunk boundaries reset it), unlike the DBG-framework version.
+        dbg_style = HubCluster(degree_kind="out").compute_mapping(g)
+        assert not np.array_equal(mapping, dbg_style)
+
+
+class TestDBG:
+    def test_boundaries_default_shape(self):
+        bounds = dbg_boundaries(average_degree=10.0, max_degree=1000.0)
+        assert bounds == [320.0, 160.0, 80.0, 40.0, 20.0, 10.0, 5.0, 0.0]
+
+    def test_boundaries_trimmed_to_max_degree(self):
+        bounds = dbg_boundaries(average_degree=10.0, max_degree=50.0)
+        assert bounds[0] <= 50.0 or len(bounds) == 1
+        assert bounds[-1] == 0.0
+
+    def test_groups_are_contiguous_and_ordered(self, small_graph):
+        g = small_graph
+        mapping = DBG(degree_kind="out").compute_mapping(g)
+        degrees = g.out_degrees()
+        order = np.argsort(mapping)
+        # Walking memory order, the group (degree range) index never
+        # decreases, and within a group original IDs ascend.
+        bounds = dbg_boundaries(g.average_degree(), float(degrees.max()))
+        group_of = [
+            next(k for k, low in enumerate(bounds) if degrees[v] >= low)
+            for v in order
+        ]
+        assert group_of == sorted(group_of)
+        for k in set(group_of):
+            members = [v for v, gk in zip(order, group_of) if gk == k]
+            assert members == sorted(members)
+
+    def test_custom_hot_group_count(self, small_graph):
+        mapping = DBG(degree_kind="out", num_hot_groups=3).compute_mapping(small_graph)
+        assert is_permutation(mapping, small_graph.num_vertices)
+
+    def test_bad_group_count_rejected(self):
+        with pytest.raises(ValueError):
+            DBG(num_hot_groups=0)
+
+    def test_improves_hot_packing(self, tiny_community_graph):
+        g = tiny_community_graph
+        reordered = g.relabel(DBG(degree_kind="out").compute_mapping(g))
+        assert hot_vertices_per_block(reordered) > hot_vertices_per_block(g)
+
+    def test_preserves_more_structure_than_sort(self, tiny_community_graph):
+        g = tiny_community_graph
+        dbg = g.relabel(DBG(degree_kind="out").compute_mapping(g))
+        srt = g.relabel(Sort(degree_kind="out").compute_mapping(g))
+        assert locality_score(dbg, 64) > locality_score(srt, 64)
+
+
+class TestRandom:
+    def test_rv_is_permutation(self, small_graph):
+        mapping = RandomVertex(seed=1).compute_mapping(small_graph)
+        assert is_permutation(mapping, small_graph.num_vertices)
+
+    def test_rv_seed_determinism(self, small_graph):
+        a = RandomVertex(seed=1).compute_mapping(small_graph)
+        b = RandomVertex(seed=1).compute_mapping(small_graph)
+        c = RandomVertex(seed=2).compute_mapping(small_graph)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_rcb_keeps_runs_together(self):
+        g = make_random_graph(num_vertices=64, num_edges=100, seed=4)
+        rcb = RandomCacheBlock(num_blocks=1, seed=5)
+        mapping = rcb.compute_mapping(g)
+        assert is_permutation(mapping, 64)
+        for run_start in range(0, 64, 8):
+            run = mapping[run_start : run_start + 8]
+            assert np.all(np.diff(run) == 1), "vertices of a run must move together"
+
+    def test_rcb_granularity(self):
+        g = make_random_graph(num_vertices=128, num_edges=100, seed=6)
+        mapping = RandomCacheBlock(num_blocks=2, seed=7).compute_mapping(g)
+        for run_start in range(0, 128, 16):
+            run = mapping[run_start : run_start + 16]
+            assert np.all(np.diff(run) == 1)
+
+    def test_rcb_ragged_tail(self):
+        g = make_random_graph(num_vertices=61, num_edges=100, seed=8)
+        mapping = RandomCacheBlock(num_blocks=1, seed=9).compute_mapping(g)
+        assert is_permutation(mapping, 61)
+
+    def test_rcb_preserves_hot_packing(self, tiny_community_graph):
+        g = tiny_community_graph
+        shuffled = g.relabel(RandomCacheBlock(num_blocks=1, seed=3).compute_mapping(g))
+        assert hot_vertices_per_block(shuffled) == pytest.approx(
+            hot_vertices_per_block(g), rel=0.01
+        )
+
+    def test_rv_scatters_hot_vertices(self, tiny_community_graph):
+        g = tiny_community_graph
+        shuffled = g.relabel(RandomVertex(seed=4).compute_mapping(g))
+        assert hot_vertices_per_block(shuffled) < hot_vertices_per_block(g)
+
+    def test_bad_rcb_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            RandomCacheBlock(num_blocks=0)
+
+
+class TestGorder:
+    def test_permutation(self, small_graph):
+        mapping = Gorder(window=3).compute_mapping(small_graph)
+        assert is_permutation(mapping, small_graph.num_vertices)
+
+    def test_empty_graph(self):
+        from repro.graph import from_edges
+
+        g = from_edges(0, np.empty((0, 2)))
+        assert Gorder().compute_mapping(g).size == 0
+
+    def test_isolated_vertices_handled(self):
+        from repro.graph import from_edges
+
+        g = from_edges(10, np.array([(0, 1), (1, 2)]))
+        mapping = Gorder().compute_mapping(g)
+        assert is_permutation(mapping, 10)
+
+    def test_improves_locality_of_shuffled_community_graph(self, tiny_community_graph):
+        g = tiny_community_graph
+        rng = np.random.default_rng(11)
+        shuffled = g.relabel(rng.permutation(g.num_vertices))
+        reordered = shuffled.relabel(Gorder(window=5).compute_mapping(shuffled))
+        assert locality_score(reordered, 64) > locality_score(shuffled, 64) * 1.5
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            Gorder(window=0)
+
+
+class TestComposed:
+    def test_equivalent_to_sequential_application(self, small_graph):
+        inner = [HubCluster(degree_kind="out"), DBG(degree_kind="out")]
+        composed = Composed(inner)
+        combined = composed.compute_mapping(small_graph)
+        step1 = small_graph.relabel(inner[0].compute_mapping(small_graph))
+        step2 = step1.relabel(
+            DBG(degree_kind="out").compute_mapping(step1)
+        )
+        assert small_graph.relabel(combined) == step2
+
+    def test_name_and_flags(self):
+        composed = Composed([Gorder(), DBG()])
+        assert composed.name == "Gorder+DBG"
+        assert not composed.skew_aware
+        assert Composed([Sort(), DBG()]).skew_aware
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Composed([])
+
+
+class TestBaseClass:
+    def test_bad_degree_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Sort(degree_kind="diagonal")
+
+    def test_apply_times_phases(self, small_graph):
+        result = DBG(degree_kind="out").apply(small_graph)
+        assert result.analysis_seconds >= 0
+        assert result.relabel_seconds >= 0
+        assert result.technique == "DBG"

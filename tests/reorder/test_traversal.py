@@ -1,0 +1,93 @@
+"""Tests for the traversal-based orderings (BFS, DFS, RCM)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edges
+from repro.graph.properties import locality_score
+from repro.reorder import BFSOrder, DFSOrder, ReverseCuthillMcKee
+from tests.conftest import make_random_graph
+
+ALL = [BFSOrder, DFSOrder, ReverseCuthillMcKee]
+
+
+def path_graph(n):
+    return from_edges(n, np.array([(v, v + 1) for v in range(n - 1)]))
+
+
+@pytest.mark.parametrize("cls", ALL)
+class TestCommon:
+    def test_permutation(self, cls, small_graph):
+        mapping = cls().compute_mapping(small_graph)
+        assert sorted(mapping.tolist()) == list(range(small_graph.num_vertices))
+
+    def test_disconnected_components_covered(self, cls):
+        g = from_edges(10, np.array([(0, 1), (5, 6)]))
+        mapping = cls().compute_mapping(g)
+        assert sorted(mapping.tolist()) == list(range(10))
+
+    def test_empty_graph(self, cls):
+        g = from_edges(0, np.empty((0, 2)))
+        assert cls().compute_mapping(g).size == 0
+
+    def test_deterministic(self, cls, small_graph):
+        a = cls().compute_mapping(small_graph)
+        b = cls().compute_mapping(small_graph)
+        assert np.array_equal(a, b)
+
+    def test_recovers_locality_of_shuffled_path(self, cls):
+        """Any traversal order restores a shuffled path to high locality."""
+        g = path_graph(200)
+        shuffled = g.relabel(np.random.default_rng(4).permutation(200))
+        reordered = shuffled.relabel(cls().compute_mapping(shuffled))
+        assert locality_score(reordered, 2) > 0.9
+        assert locality_score(shuffled, 2) < 0.2
+
+
+class TestBfsSemantics:
+    def test_levels_are_contiguous_on_a_tree(self):
+        # Root 0 has the max total degree (3), so BFS starts there.
+        #        0
+        #     1  2  3
+        #     4  5  6
+        g = from_edges(
+            7, np.array([(0, 1), (0, 2), (0, 3), (1, 4), (2, 5), (3, 6)])
+        )
+        mapping = BFSOrder().compute_mapping(g)
+        assert mapping[0] == 0
+        assert sorted(mapping[[1, 2, 3]].tolist()) == [1, 2, 3]
+        assert sorted(mapping[[4, 5, 6]].tolist()) == [4, 5, 6]
+
+
+class TestDfsSemantics:
+    def test_follows_a_branch_to_depth(self):
+        g = from_edges(5, np.array([(0, 1), (1, 2), (0, 3), (3, 4)]))
+        mapping = DFSOrder().compute_mapping(g)
+        # Starting at the max-degree vertex 0 then the smallest neighbor
+        # branch first: 0, 1, 2 before 3, 4.
+        assert mapping[0] == 0
+        assert mapping[1] < mapping[3]
+        assert mapping[2] < mapping[3]
+
+
+class TestRcmSemantics:
+    def test_reduces_bandwidth_of_shuffled_lattice(self):
+        from repro.graph.generators import road_graph
+
+        g = road_graph(900, avg_degree=2.0, seed=1, shuffle=True)
+        mapping = ReverseCuthillMcKee().compute_mapping(g)
+        reordered = g.relabel(mapping)
+
+        def bandwidth(graph):
+            src, dst = graph.edge_array()
+            return float(np.abs(src - dst).mean()) if graph.num_edges else 0.0
+
+        assert bandwidth(reordered) < bandwidth(g) / 3
+
+    def test_starts_bfs_from_low_degree_periphery(self):
+        g = path_graph(50)
+        mapping = ReverseCuthillMcKee().compute_mapping(g)
+        reordered_positions = np.argsort(mapping)
+        # A path RCM'd stays a path traversal (possibly reversed).
+        diffs = np.diff(mapping[reordered_positions])
+        assert np.all(diffs == 1)
