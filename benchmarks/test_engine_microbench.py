@@ -1,0 +1,100 @@
+"""Cache-simulation micro-benchmark — emits ``BENCH_cachesim.json``.
+
+Two measurements:
+
+* **engines** — accesses/second for the reference loop vs the compiled
+  fast engine on the synthetic graph-shaped microbench trace (the >=10x
+  acceptance gate for the fast engine lives here);
+* **grid_runner** — cells/second for ``ExperimentRunner.run_grid`` serial
+  vs process-parallel against cold disk caches (recorded, not asserted:
+  the win depends on available cores, which the JSON also records).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.diskcache import DiskCache
+from repro.analysis.experiments import ExperimentConfig, ExperimentRunner
+from repro.cachesim import DEFAULT_HIERARCHY, fast_available
+from repro.tools.simbench_tool import make_microbench_trace, time_engines
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_cachesim.json"
+
+#: Acceptance target: fast engine vs reference on the microbench trace.
+TARGET_SPEEDUP = 10.0
+
+GRID = (["PR", "PRD"], ["lj"], ["Original", "DBG"])
+GRID_CELLS = len(GRID[0]) * len(GRID[1]) * len(GRID[2])
+
+
+def _load_bench() -> dict:
+    if BENCH_PATH.exists():
+        try:
+            return json.loads(BENCH_PATH.read_text())
+        except json.JSONDecodeError:
+            pass
+    return {}
+
+
+def _store_bench(section: str, payload: dict) -> None:
+    bench = _load_bench()
+    bench[section] = payload
+    bench["environment"] = {
+        "cpu_count": os.cpu_count(),
+        "fast_available": fast_available(),
+    }
+    BENCH_PATH.write_text(json.dumps(bench, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.mark.skipif(not fast_available(), reason="no C compiler for the fast engine")
+def test_engine_throughput_target():
+    trace = make_microbench_trace(600_000, seed=0)
+    results = time_engines(
+        trace, DEFAULT_HIERARCHY, ["reference", "fast"], repeats=2
+    )
+    speedup = results["speedup_fast_over_reference"]
+    _store_bench("engines", results)
+    ref = results["engines"]["reference"]["accesses_per_second"]
+    fast = results["engines"]["fast"]["accesses_per_second"]
+    print(
+        f"\nmicrobench trace ({len(trace):,} runs): reference "
+        f"{ref / 1e6:.1f} M acc/s, fast {fast / 1e6:.1f} M acc/s "
+        f"-> {speedup:.1f}x"
+    )
+    assert speedup >= TARGET_SPEEDUP, (
+        f"fast engine only {speedup:.1f}x over reference "
+        f"(target {TARGET_SPEEDUP}x)"
+    )
+
+
+def test_grid_runner_throughput(tmp_path):
+    config = ExperimentConfig()
+    serial_runner = ExperimentRunner(config, cache=DiskCache(tmp_path / "serial"))
+    start = time.perf_counter()
+    serial = serial_runner.run_grid(*GRID)
+    serial_s = time.perf_counter() - start
+
+    workers = min(4, os.cpu_count() or 1)
+    parallel_runner = ExperimentRunner(config, cache=DiskCache(tmp_path / "parallel"))
+    start = time.perf_counter()
+    parallel = parallel_runner.run_grid(*GRID, workers=workers)
+    parallel_s = time.perf_counter() - start
+
+    assert serial == parallel  # cold-cache parity, through real processes
+    payload = {
+        "cells": GRID_CELLS,
+        "workers": workers,
+        "serial_seconds": serial_s,
+        "parallel_seconds": parallel_s,
+        "serial_cells_per_second": GRID_CELLS / serial_s,
+        "parallel_cells_per_second": GRID_CELLS / parallel_s,
+    }
+    _store_bench("grid_runner", payload)
+    print(
+        f"\ngrid ({GRID_CELLS} cells): serial {serial_s:.2f}s, "
+        f"parallel[{workers}] {parallel_s:.2f}s"
+    )

@@ -10,12 +10,14 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.analysis import ablations, figures, tables
 from repro.analysis.experiments import ExperimentConfig, ExperimentRunner
 from repro.analysis.charts import render_chart
 from repro.analysis.render import render_result
+from repro.cachesim.hierarchy import ENGINES
 
 __all__ = ["main"]
 
@@ -82,7 +84,20 @@ def main(argv: list[str] | None = None) -> int:
         "--output", type=str, default=None,
         help="also write a markdown report of the selected experiments",
     )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="processes for pre-warming the main experiment grid into the "
+        "disk cache before the (serial) tables/figures replay it",
+    )
+    parser.add_argument(
+        "--engine", choices=ENGINES, default=None,
+        help="cache-simulation engine (default: auto — compiled kernel "
+        "when available, else the pure-Python reference loop)",
+    )
     args = parser.parse_args(argv)
+    if args.engine:
+        # Campaign-wide override, inherited by grid worker processes.
+        os.environ["REPRO_SIM_ENGINE"] = args.engine
 
     names = list(args.experiments)
     if names == ["all"]:
@@ -93,6 +108,18 @@ def main(argv: list[str] | None = None) -> int:
 
     config = ExperimentConfig(scale=args.scale, num_roots=args.roots)
     runner = ExperimentRunner(config)
+    if args.workers > 1:
+        from repro.apps.registry import APP_ORDER
+        from repro.analysis.figures import MAIN_TECHNIQUES
+        from repro.graph.generators.datasets import DATASETS
+
+        print(f"pre-warming main grid with {args.workers} workers ...")
+        runner.run_grid(
+            list(APP_ORDER),
+            list(DATASETS),
+            ["Original"] + MAIN_TECHNIQUES,
+            workers=args.workers,
+        )
     if args.output:
         from repro.analysis.report import generate_report
 

@@ -5,6 +5,14 @@ produce; the benchmark harness regenerates every figure, so results are
 memoized under ``.repro_cache/`` (override with ``REPRO_CACHE_DIR``).
 Bump ``CACHE_VERSION`` whenever a change invalidates previously cached
 results.
+
+The cache is safe under concurrent writers (the parallel grid runner
+fans experiment cells out across processes): every write goes to a
+uniquely named temp file in the same directory and is published with an
+atomic ``os.replace``, so readers never observe partial pickles, and
+same-key racers simply last-write-win with identical content.  Corrupt
+or truncated files (e.g. from a power loss predating the atomic-write
+scheme) are treated as misses and evicted.
 """
 
 from __future__ import annotations
@@ -12,12 +20,27 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import struct
 from pathlib import Path
 
 __all__ = ["DiskCache", "default_cache_dir", "CACHE_VERSION"]
 
 #: Participates in every key; bump to invalidate all cached results.
 CACHE_VERSION = 8
+
+#: Everything that can surface when unpickling a damaged or alien file.
+_CORRUPT_ERRORS = (
+    OSError,
+    pickle.UnpicklingError,
+    EOFError,
+    AttributeError,
+    ImportError,
+    IndexError,
+    KeyError,
+    MemoryError,
+    ValueError,
+    struct.error,
+)
 
 
 def default_cache_dir() -> Path:
@@ -39,24 +62,35 @@ class DiskCache:
         return self.directory / f"{digest}.pkl"
 
     def get(self, key: object):
-        """Return the cached value or ``None``."""
+        """Return the cached value, or ``None`` (evicting corrupt files)."""
         path = self._path(key)
-        if not path.exists():
-            return None
         try:
             with open(path, "rb") as handle:
                 return pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError):
+        except FileNotFoundError:
+            return None
+        except _CORRUPT_ERRORS:
+            # Truncated/garbage pickle: treat as a miss and drop the file
+            # so the slot can be recomputed cleanly.
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
             return None
 
     def set(self, key: object, value) -> None:
-        """Store a value (atomic rename so readers never see partials)."""
+        """Store a value (unique temp + atomic rename; race-safe)."""
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
-        tmp = path.with_suffix(".tmp")
-        with open(tmp, "wb") as handle:
-            pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, path)
+        tmp = path.with_name(
+            f".{path.stem}.{os.getpid()}.{os.urandom(4).hex()}.tmp"
+        )
+        try:
+            with open(tmp, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
 
     def memoize(self, key: object, compute):
         """Return cached value for ``key`` or compute, store and return it."""

@@ -18,6 +18,8 @@ are Gorder mappings and application plans.
 
 from __future__ import annotations
 
+import itertools
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -259,6 +261,34 @@ class ExperimentRunner:
             reorder_cycles=reorder_cycles,
         )
 
+    # -- grids ---------------------------------------------------------------
+    def run_grid(
+        self,
+        apps: list[str],
+        datasets: list[str],
+        techniques: list[str],
+        workers: int | None = None,
+    ) -> list[CellResult]:
+        """All cells of the (apps x datasets x techniques) cross-product.
+
+        Results come back in cross-product order (apps outermost,
+        techniques innermost), identical to calling :meth:`cell` serially.
+        ``workers > 1`` fans the cells out over a
+        :class:`~concurrent.futures.ProcessPoolExecutor`; every worker
+        shares this runner's disk cache (safe: writes are atomic and
+        deterministic per key), so a parallel warm-up accelerates every
+        later serial run against the same cache.
+        """
+        cells = list(itertools.product(apps, datasets, techniques))
+        if workers is None or workers <= 1:
+            return [self.cell(*spec) for spec in cells]
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_grid_worker_init,
+            initargs=(self.config, str(self.cache.directory)),
+        ) as pool:
+            return list(pool.map(_grid_worker_cell, cells))
+
     # -- derived metrics -----------------------------------------------------
     def speedup(
         self,
@@ -280,6 +310,21 @@ class ExperimentRunner:
         if include_reorder:
             run += cell.reorder_cycles
         return (base_run / run - 1.0) * 100.0
+
+
+#: Per-process runner reused across the cells a grid worker receives, so
+#: graphs/plans/mappings computed for one cell amortize over its siblings.
+_WORKER_RUNNER: ExperimentRunner | None = None
+
+
+def _grid_worker_init(config: ExperimentConfig, cache_dir: str) -> None:
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = ExperimentRunner(config, cache=DiskCache(cache_dir))
+
+
+def _grid_worker_cell(spec: tuple[str, str, str]) -> CellResult:
+    assert _WORKER_RUNNER is not None, "worker used without initializer"
+    return _WORKER_RUNNER.cell(*spec)
 
 
 def geomean_speedup(speedups_pct: list[float]) -> float:

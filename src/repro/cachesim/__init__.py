@@ -18,7 +18,16 @@ from repro.cachesim.hierarchy import (
     HierarchyConfig,
     CacheStats,
     simulate_trace,
+    simulate_trace_reference,
+    resolve_engine,
+    ENGINES,
     DEFAULT_HIERARCHY,
+)
+from repro.cachesim.fast import (
+    FastSimulator,
+    KernelUnavailable,
+    fast_available,
+    simulate_trace_fast,
 )
 
 __all__ = [
@@ -27,5 +36,12 @@ __all__ = [
     "HierarchyConfig",
     "CacheStats",
     "simulate_trace",
+    "simulate_trace_reference",
+    "simulate_trace_fast",
+    "resolve_engine",
+    "ENGINES",
+    "FastSimulator",
+    "KernelUnavailable",
+    "fast_available",
     "DEFAULT_HIERARCHY",
 ]

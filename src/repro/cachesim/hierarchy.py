@@ -22,6 +22,8 @@ configurable through :class:`HierarchyConfig`.
 
 from __future__ import annotations
 
+import os
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -32,8 +34,14 @@ __all__ = [
     "HierarchyConfig",
     "CacheStats",
     "simulate_trace",
+    "simulate_trace_reference",
+    "resolve_engine",
+    "ENGINES",
     "DEFAULT_HIERARCHY",
 ]
+
+#: Recognized simulation engines (see :func:`simulate_trace`).
+ENGINES = ("auto", "fast", "reference")
 
 
 @dataclass(frozen=True)
@@ -69,6 +77,12 @@ class HierarchyConfig:
     #: from it are written back, so later misses go to L3/memory instead of
     #: snooping.  ``None`` derives 32x the shared-L2-proxy block count.
     ownership_blocks: int | None = None
+    #: Simulation engine: "auto" (compiled kernel when available, else the
+    #: reference loop), "fast" (kernel, error if unavailable) or
+    #: "reference".  Both engines are counter-for-counter identical; the
+    #: knob never changes results, only wall-clock.  Overridable per call
+    #: and campaign-wide via ``REPRO_SIM_ENGINE`` (see ``resolve_engine``).
+    engine: str = "auto"
 
     def scaled(self, factor: int) -> "HierarchyConfig":
         """A hierarchy with every level ``factor``× larger (same shape)."""
@@ -81,6 +95,7 @@ class HierarchyConfig:
             ownership_blocks=(
                 None if self.ownership_blocks is None else self.ownership_blocks * factor
             ),
+            engine=self.engine,
         )
 
     @property
@@ -130,10 +145,55 @@ class CacheStats:
         }
 
 
+def resolve_engine(
+    engine: str | None = None, config: HierarchyConfig | None = None
+) -> str:
+    """Pick the engine: explicit arg > ``REPRO_SIM_ENGINE`` > config > auto."""
+    choice = engine or os.environ.get("REPRO_SIM_ENGINE") or (
+        config.engine if config is not None else "auto"
+    )
+    if choice not in ENGINES:
+        raise ValueError(f"unknown simulation engine {choice!r}; known: {ENGINES}")
+    return choice
+
+
 def simulate_trace(
-    trace: MemoryTrace, config: HierarchyConfig = DEFAULT_HIERARCHY
+    trace: MemoryTrace,
+    config: HierarchyConfig = DEFAULT_HIERARCHY,
+    engine: str | None = None,
 ) -> CacheStats:
     """Run a compressed trace through the hierarchy; returns counters.
+
+    Dispatches to the compiled fast engine or the pure-Python reference
+    loop (:func:`simulate_trace_reference`) according to ``engine`` /
+    ``REPRO_SIM_ENGINE`` / ``config.engine``; both produce bit-identical
+    counters.  Every call is accounted to :mod:`repro.cachesim.stats`.
+    """
+    from repro.cachesim import stats as simstats
+
+    choice = resolve_engine(engine, config)
+    if choice != "reference":
+        from repro.cachesim import fast
+
+        if choice == "fast" or fast.fast_available():
+            start = time.perf_counter()
+            result = fast.simulate_trace_fast(trace, config)
+            simstats.record(
+                "fast", len(trace), result.accesses, time.perf_counter() - start
+            )
+            return result
+    start = time.perf_counter()
+    result = simulate_trace_reference(trace, config)
+    simstats.record(
+        "reference", len(trace), result.accesses, time.perf_counter() - start
+    )
+    return result
+
+
+def simulate_trace_reference(
+    trace: MemoryTrace, config: HierarchyConfig = DEFAULT_HIERARCHY
+) -> CacheStats:
+    """The pure-Python oracle the fast engine is verified against.
 
     Consecutive repeat accesses inside a trace run (``counts > 1``) are L1
     hits by construction and only bump the access counter.

@@ -1,0 +1,91 @@
+"""Throughput instrumentation for the simulation engines.
+
+Every :func:`repro.cachesim.simulate_trace` call records which engine ran,
+how many (logical) accesses and compressed runs it processed and how long
+it took.  The counters make engine speedups visible wherever traces are
+simulated — the equivalence/microbench harnesses print them, and
+``BENCH_cachesim.json`` archives them — without threading timing code
+through every caller.
+
+Counters are process-local (each grid worker accumulates its own) and
+guarded by a lock so threaded callers do not corrupt them.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+__all__ = ["EngineStats", "record", "snapshot", "reset", "format_snapshot"]
+
+
+@dataclass
+class EngineStats:
+    """Accumulated work and wall time for one engine."""
+
+    calls: int = 0
+    runs: int = 0  #: compressed trace entries processed
+    accesses: int = 0  #: logical accesses represented
+    seconds: float = 0.0
+
+    @property
+    def accesses_per_second(self) -> float:
+        return self.accesses / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def runs_per_second(self) -> float:
+        return self.runs / self.seconds if self.seconds > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "calls": self.calls,
+            "runs": self.runs,
+            "accesses": self.accesses,
+            "seconds": self.seconds,
+            "accesses_per_second": self.accesses_per_second,
+            "runs_per_second": self.runs_per_second,
+        }
+
+
+_lock = threading.Lock()
+_counters: dict[str, EngineStats] = {}
+
+
+def record(engine: str, runs: int, accesses: int, seconds: float) -> None:
+    """Account one simulate_trace call to ``engine``."""
+    with _lock:
+        stats = _counters.setdefault(engine, EngineStats())
+        stats.calls += 1
+        stats.runs += runs
+        stats.accesses += accesses
+        stats.seconds += seconds
+
+
+def snapshot() -> dict[str, EngineStats]:
+    """Copy of the per-engine counters accumulated so far."""
+    with _lock:
+        return {
+            name: EngineStats(s.calls, s.runs, s.accesses, s.seconds)
+            for name, s in _counters.items()
+        }
+
+
+def reset() -> None:
+    """Zero all counters (benchmark harnesses call this between phases)."""
+    with _lock:
+        _counters.clear()
+
+
+def format_snapshot(counters: dict[str, EngineStats] | None = None) -> str:
+    """Human-readable one-line-per-engine summary (for CI logs)."""
+    counters = snapshot() if counters is None else counters
+    if not counters:
+        return "cachesim: no simulations recorded"
+    lines = []
+    for name in sorted(counters):
+        s = counters[name]
+        lines.append(
+            f"cachesim[{name}]: {s.accesses:,} accesses in {s.seconds:.3f}s "
+            f"({s.accesses_per_second / 1e6:.1f} M acc/s, {s.calls} calls)"
+        )
+    return "\n".join(lines)

@@ -77,6 +77,38 @@ class MemoryTrace:
     def __len__(self) -> int:
         return int(self.blocks.size)
 
+    def packed(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Kernel-ready contiguous views: int64 blocks/counts/cores, uint8 writes.
+
+        No copy is made when the stored arrays already have the target
+        dtype and layout (the :class:`TraceBuilder` output does).
+        """
+        return (
+            np.ascontiguousarray(self.blocks, dtype=np.int64),
+            np.ascontiguousarray(self.counts, dtype=np.int64),
+            np.ascontiguousarray(self.writes, dtype=np.uint8),
+            np.ascontiguousarray(self.cores, dtype=np.int64),
+        )
+
+    def chunks(self, max_runs: int):
+        """Stream the packed trace in chunks of at most ``max_runs`` runs.
+
+        The consumer sees the same run sequence as one packed export;
+        chunking only bounds peak memory and gives engines a natural
+        progress/instrumentation granularity.
+        """
+        if max_runs <= 0:
+            raise ValueError("max_runs must be positive")
+        blocks, counts, writes, cores = self.packed()
+        for start in range(0, blocks.size, max_runs):
+            stop = start + max_runs
+            yield (
+                blocks[start:stop],
+                counts[start:stop],
+                writes[start:stop],
+                cores[start:stop],
+            )
+
 
 class TraceBuilder:
     """Accumulates keyed access streams and merges them into a trace."""

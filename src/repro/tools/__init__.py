@@ -4,12 +4,15 @@
   registered technique and save the result plus the ID mapping.
 * ``repro-generate`` — emit one of the dataset analogs (or a custom
   community/power-law graph) to disk.
+* ``repro-simbench`` — time the cache-simulation engines on a synthetic
+  graph-shaped trace and report the fast-engine speedup.
 
-Both are thin wrappers over the library so downstream pipelines can adopt
+All are thin wrappers over the library so downstream pipelines can adopt
 the reordering step without writing Python.
 """
 
 from repro.tools.reorder_tool import main as reorder_main
 from repro.tools.generate_tool import main as generate_main
+from repro.tools.simbench_tool import main as simbench_main
 
-__all__ = ["reorder_main", "generate_main"]
+__all__ = ["reorder_main", "generate_main", "simbench_main"]

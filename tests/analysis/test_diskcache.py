@@ -1,5 +1,8 @@
 """Tests for the disk memoization layer."""
 
+import pickle
+from concurrent.futures import ThreadPoolExecutor
+
 import numpy as np
 
 from repro.analysis.diskcache import DiskCache
@@ -45,6 +48,60 @@ class TestDiskCache:
         for path in tmp_path.glob("*.pkl"):
             path.write_bytes(b"not a pickle")
         assert cache.get("k") is None
+
+    def test_corrupt_file_evicted(self, tmp_path):
+        """A bad pickle is deleted so the slot can be recomputed."""
+        cache = DiskCache(tmp_path)
+        cache.set("k", 1)
+        for path in tmp_path.glob("*.pkl"):
+            path.write_bytes(b"not a pickle")
+        assert cache.get("k") is None
+        assert list(tmp_path.glob("*.pkl")) == []
+        # ... and memoize then transparently refills it.
+        assert cache.memoize("k", lambda: 7) == 7
+        assert cache.get("k") == 7
+
+    def test_truncated_pickle_treated_as_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.set("k", {"payload": list(range(1000))})
+        for path in tmp_path.glob("*.pkl"):
+            path.write_bytes(path.read_bytes()[:20])
+        assert cache.get("k") is None
+        assert list(tmp_path.glob("*.pkl")) == []
+
+    def test_unpicklable_reference_treated_as_miss(self, tmp_path):
+        """A pickle referencing a class that no longer exists is a miss."""
+        cache = DiskCache(tmp_path)
+        cache.set("k", 1)
+        payload = pickle.dumps(DiskCache(tmp_path))
+        bad = payload.replace(b"DiskCache", b"GoneClass")
+        for path in tmp_path.glob("*.pkl"):
+            path.write_bytes(bad)
+        assert cache.get("k") is None
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        for i in range(5):
+            cache.set(("k", i), i)
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert list(tmp_path.glob(".*")) == []
+
+    def test_concurrent_writers_same_key(self, tmp_path):
+        """Racing writers never corrupt the slot (atomic publish)."""
+        cache = DiskCache(tmp_path)
+        value = {"arr": np.arange(2000)}
+
+        def hammer(_):
+            for _ in range(20):
+                cache.set("shared", value)
+                got = cache.get("shared")
+                # Readers may race an eviction but must never see garbage.
+                assert got is None or np.array_equal(got["arr"], value["arr"])
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(hammer, range(8)))
+        assert np.array_equal(cache.get("shared")["arr"], value["arr"])
+        assert list(tmp_path.glob("*.tmp")) == []
 
     def test_env_override(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))

@@ -81,6 +81,40 @@ class TestCells:
         assert sum(cell.l2_breakdown.values()) == cell.l2_misses
 
 
+class TestRunGrid:
+    GRID = (["PR"], ["lj"], ["Original", "Sort"])
+
+    def test_serial_matches_cells(self, runner):
+        results = runner.run_grid(*self.GRID)
+        assert [r.technique for r in results] == ["Original", "Sort"]
+        for result in results:
+            assert result == runner.cell("PR", "lj", result.technique)
+
+    def test_grid_order_is_cross_product(self, runner):
+        results = runner.run_grid(["PR", "PRD"], ["lj"], ["Original"])
+        assert [(r.app, r.dataset) for r in results] == [("PR", "lj"), ("PRD", "lj")]
+
+    def test_parallel_matches_serial_on_cold_caches(self, tmp_path):
+        config = ExperimentConfig(scale=0.2, num_roots=1)
+        serial_runner = ExperimentRunner(config, cache=DiskCache(tmp_path / "serial"))
+        parallel_runner = ExperimentRunner(
+            config, cache=DiskCache(tmp_path / "parallel")
+        )
+        serial = serial_runner.run_grid(*self.GRID)
+        parallel = parallel_runner.run_grid(*self.GRID, workers=2)
+        assert serial == parallel
+
+    def test_parallel_populates_shared_cache(self, tmp_path):
+        config = ExperimentConfig(scale=0.2, num_roots=1)
+        runner = ExperimentRunner(config, cache=DiskCache(tmp_path / "c"))
+        runner.run_grid(*self.GRID, workers=2)
+        # A fresh runner on the same cache replays without recomputation:
+        # results must agree cell-for-cell with what the workers stored.
+        replay = ExperimentRunner(config, cache=DiskCache(tmp_path / "c"))
+        assert replay.run_grid(*self.GRID) == runner.run_grid(*self.GRID)
+        assert len(list((tmp_path / "c").glob("*.pkl"))) >= len(self.GRID[2])
+
+
 class TestSpeedups:
     def test_original_speedup_zero(self, runner):
         assert runner.speedup("PR", "lj", "Original") == pytest.approx(0.0)
