@@ -1,10 +1,19 @@
-"""Cache-simulation micro-benchmark — emits ``BENCH_cachesim.json``.
+"""Compiled-engine micro-benchmarks — emit ``BENCH_cachesim.json``.
 
-Two measurements:
+Measurements:
 
 * **engines** — accesses/second for the reference loop vs the compiled
   fast engine on the synthetic graph-shaped microbench trace (the >=10x
   acceptance gate for the fast engine lives here);
+* **trace_build** — the compiled trace-construction kernel vs the numpy
+  ``argsort`` reference: the shuffled quarter-lattice workload carries
+  the >=5x acceptance gate; the builder-shaped interleaved workload is
+  recorded ungated (its run-merge kernel path wins ~2x);
+* **gorder** — the compiled Gorder placement loop vs the Python heap
+  loop on an R-MAT graph (>=5x acceptance gate);
+* **grid_stages** — per-stage profiler breakdown of the demo grid under
+  both engines; asserts trace construction no longer dominates cell
+  time with the fast engines;
 * **grid_runner** — cells/second for ``ExperimentRunner.run_grid`` serial
   vs process-parallel against cold disk caches (recorded, not asserted:
   the win depends on available cores, which the JSON also records).
@@ -19,16 +28,31 @@ import pytest
 
 from repro.analysis.diskcache import DiskCache
 from repro.analysis.experiments import ExperimentConfig, ExperimentRunner
+from repro.analysis.profiler import PROFILER
 from repro.cachesim import DEFAULT_HIERARCHY, fast_available
-from repro.tools.simbench_tool import make_microbench_trace, time_engines
+from repro.framework import fasttrace
+from repro.tools.simbench_tool import (
+    make_microbench_trace,
+    time_engines,
+    time_gorder,
+    time_trace_build,
+)
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_cachesim.json"
 
 #: Acceptance target: fast engine vs reference on the microbench trace.
 TARGET_SPEEDUP = 10.0
+#: Acceptance target: trace-build kernel on the shuffled workload.
+TRACE_TARGET_SPEEDUP = 5.0
+#: Acceptance target: Gorder kernel vs the Python heap loop.
+GORDER_TARGET_SPEEDUP = 5.0
 
 GRID = (["PR", "PRD"], ["lj"], ["Original", "DBG"])
 GRID_CELLS = len(GRID[0]) * len(GRID[1]) * len(GRID[2])
+
+needs_trace_kernel = pytest.mark.skipif(
+    not fasttrace.fast_available(), reason="no C compiler for the trace kernels"
+)
 
 
 def _load_bench() -> dict:
@@ -68,6 +92,82 @@ def test_engine_throughput_target():
     assert speedup >= TARGET_SPEEDUP, (
         f"fast engine only {speedup:.1f}x over reference "
         f"(target {TARGET_SPEEDUP}x)"
+    )
+
+
+@needs_trace_kernel
+def test_trace_build_throughput_target():
+    payload = {}
+    for kind in ("shuffled", "interleaved"):
+        results = time_trace_build(262_144, seed=0, kind=kind, repeats=15)
+        payload[kind] = results
+        print(
+            f"\ntrace build [{kind}] ({results['n']:,} entries): "
+            f"reference {results['engines']['reference']['seconds'] * 1e3:.1f}ms, "
+            f"fast {results['engines']['fast']['seconds'] * 1e3:.1f}ms "
+            f"-> {results['speedup_fast_over_reference']:.1f}x"
+        )
+    _store_bench("trace_build", payload)
+    speedup = payload["shuffled"]["speedup_fast_over_reference"]
+    assert speedup >= TRACE_TARGET_SPEEDUP, (
+        f"trace-build kernel only {speedup:.1f}x over the numpy reference "
+        f"on the shuffled workload (target {TRACE_TARGET_SPEEDUP}x)"
+    )
+
+
+@needs_trace_kernel
+def test_gorder_throughput_target():
+    results = time_gorder(scale=13, avg_degree=16, window=5, repeats=3)
+    _store_bench("gorder", results)
+    speedup = results["speedup_fast_over_reference"]
+    print(
+        f"\ngorder ({results['vertices']:,} vertices): "
+        f"reference {results['engines']['reference']['seconds'] * 1e3:.0f}ms, "
+        f"fast {results['engines']['fast']['seconds'] * 1e3:.0f}ms "
+        f"-> {speedup:.1f}x"
+    )
+    assert speedup >= GORDER_TARGET_SPEEDUP, (
+        f"gorder kernel only {speedup:.1f}x over the Python heap loop "
+        f"(target {GORDER_TARGET_SPEEDUP}x)"
+    )
+
+
+@needs_trace_kernel
+def test_grid_stage_profile(tmp_path, monkeypatch):
+    """Per-stage breakdown of the demo grid under both engine settings.
+
+    PR 1 made simulation compiled-fast, which left trace construction as
+    the dominant stage; with the compiled trace kernels it must no
+    longer dominate (< 50% of staged time).
+    """
+    payload = {}
+    for engine in ("reference", "fast"):
+        monkeypatch.setenv("REPRO_TRACE_ENGINE", engine)
+        runner = ExperimentRunner(
+            ExperimentConfig(scale=8.0), cache=DiskCache(tmp_path / engine)
+        )
+        PROFILER.reset()
+        runner.run_grid(*GRID)
+        snap = PROFILER.snapshot()
+        total = sum(s.seconds for s in snap.values())
+        payload[engine] = {
+            "staged_seconds": total,
+            "stages": {
+                stage: {
+                    "seconds": s.seconds,
+                    "share": s.seconds / total if total else 0.0,
+                    "calls": s.calls,
+                    "cache_hits": s.cache_hits,
+                }
+                for stage, s in sorted(snap.items())
+            },
+        }
+        print(f"\n[{engine}]\n{PROFILER.format_snapshot()}")
+    _store_bench("grid_stages", payload)
+    trace_share = payload["fast"]["stages"]["trace"]["share"]
+    assert trace_share < 0.5, (
+        f"trace construction still dominates the fast-engine grid "
+        f"({trace_share:.0%} of staged time)"
     )
 
 

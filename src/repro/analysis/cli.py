@@ -94,10 +94,22 @@ def main(argv: list[str] | None = None) -> int:
         help="cache-simulation engine (default: auto — compiled kernel "
         "when available, else the pure-Python reference loop)",
     )
+    parser.add_argument(
+        "--trace-engine", choices=ENGINES, default=None,
+        help="trace-construction engine (gather/merge/Gorder kernels; "
+        "default: auto)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print the per-stage pipeline time breakdown "
+        "(generate/mapping/relabel/trace/simulate/model) after the run",
+    )
     args = parser.parse_args(argv)
     if args.engine:
         # Campaign-wide override, inherited by grid worker processes.
         os.environ["REPRO_SIM_ENGINE"] = args.engine
+    if args.trace_engine:
+        os.environ["REPRO_TRACE_ENGINE"] = args.trace_engine
 
     names = list(args.experiments)
     if names == ["all"]:
@@ -132,6 +144,11 @@ def main(argv: list[str] | None = None) -> int:
         else:
             print(render_result(result))
         print()
+    if args.profile:
+        from repro.analysis.profiler import PROFILER
+
+        print("pipeline stage breakdown (this run, workers included):")
+        print(PROFILER.format_snapshot())
     return 0
 
 

@@ -26,7 +26,7 @@ from pathlib import Path
 __all__ = ["DiskCache", "default_cache_dir", "CACHE_VERSION"]
 
 #: Participates in every key; bump to invalidate all cached results.
-CACHE_VERSION = 8
+CACHE_VERSION = 9
 
 #: Everything that can surface when unpickling a damaged or alien file.
 _CORRUPT_ERRORS = (

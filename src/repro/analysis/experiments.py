@@ -20,11 +20,12 @@ from __future__ import annotations
 
 import itertools
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import astuple, dataclass, field
 
 import numpy as np
 
 from repro.analysis.diskcache import DiskCache
+from repro.analysis.profiler import PROFILER, StageStats, diff_snapshots
 from repro.apps import make_app
 from repro.apps.registry import APPS
 from repro.cachesim import DEFAULT_HIERARCHY, HierarchyConfig, simulate_trace
@@ -57,6 +58,13 @@ class ExperimentConfig:
     traversals: int = PAPER_TRAVERSALS
 
     def cache_key(self) -> tuple:
+        """Everything a cached cell result depends on.
+
+        The hierarchy ``engine`` knob is deliberately excluded: engines
+        are bit-identical, so switching them must *hit* the same slots.
+        The latency and cost models are folded in field by field — cached
+        cycle counts are stale the moment either model changes.
+        """
         h = self.hierarchy
         return (
             self.scale,
@@ -64,7 +72,12 @@ class ExperimentConfig:
             (h.l2.size_bytes, h.l2.associativity),
             (h.l3.size_bytes, h.l3.associativity),
             h.replacement,
+            h.cores_per_socket,
+            h.ownership_blocks,
+            astuple(self.latencies),
+            astuple(self.cost_model),
             self.num_roots,
+            self.traversals,
         )
 
 
@@ -108,9 +121,10 @@ class ExperimentRunner:
     def graph(self, dataset: str, weighted: bool = False) -> Graph:
         key = (dataset, weighted)
         if key not in self._graphs:
-            self._graphs[key] = load_dataset(
-                dataset, scale=self.config.scale, weighted=weighted
-            )
+            with PROFILER.stage("generate"):
+                self._graphs[key] = load_dataset(
+                    dataset, scale=self.config.scale, weighted=weighted
+                )
         return self._graphs[key]
 
     def roots(self, dataset: str) -> list[int]:
@@ -133,14 +147,28 @@ class ExperimentRunner:
             return self._mappings[key]
         technique = self._make(technique_name, degree_kind)
         if isinstance(technique, (Gorder, Composed)):
-            disk_key = ("mapping", self.config.cache_key(), dataset, technique_name)
-            mapping = self.cache.memoize(
-                disk_key, lambda: technique.compute_mapping(self.graph(dataset))
+            # Keyed by the technique's full identity (class, degree kind,
+            # window, ...) — a mapping depends only on the graph and the
+            # technique, never on the hierarchy/latency knobs.
+            disk_key = (
+                "mapping",
+                self.config.scale,
+                dataset,
+                technique.cache_token(),
             )
+            cached = self.cache.get(disk_key)
+            if cached is not None:
+                PROFILER.count_cache_hit("mapping")
+                mapping = cached
+            else:
+                with PROFILER.stage("mapping"):
+                    mapping = technique.compute_mapping(self.graph(dataset))
+                self.cache.set(disk_key, mapping)
         elif technique_name == "Original":
             mapping = identity_mapping(self.graph(dataset).num_vertices)
         else:
-            mapping = technique.compute_mapping(self.graph(dataset))
+            with PROFILER.stage("mapping"):
+                mapping = technique.compute_mapping(self.graph(dataset))
         self._mappings[key] = mapping
         return mapping
 
@@ -171,7 +199,9 @@ class ExperimentRunner:
         key = (dataset, technique_name, degree_kind, weighted)
         if key not in self._reordered:
             mapping = self.mapping(dataset, technique_name, degree_kind)
-            self._reordered[key] = self.graph(dataset, weighted).relabel(mapping)
+            graph = self.graph(dataset, weighted)
+            with PROFILER.stage("relabel"):
+                self._reordered[key] = graph.relabel(mapping)
         return self._reordered[key]
 
     def plan(self, app_name: str, dataset: str, root: int | None = None):
@@ -197,14 +227,49 @@ class ExperimentRunner:
         self.cache.set(disk_key, payload)
         return result
 
+    def app_trace(
+        self,
+        app,
+        app_name: str,
+        dataset: str,
+        technique_name: str,
+        degree_kind: str,
+        root: int | None,
+    ):
+        """Built :class:`AppTrace` for one (cell, root), disk-memoized.
+
+        Traces depend only on the graph (dataset + scale), the technique's
+        identity and the application/root — not on the hierarchy or the
+        timing models — so one build serves every hierarchy sweep.
+        """
+        technique = self._make(technique_name, degree_kind)
+        disk_key = (
+            "trace",
+            self.config.scale,
+            app_name,
+            dataset,
+            technique.cache_token() if technique_name != "Original" else "Original",
+            root,
+        )
+        cached = self.cache.get(disk_key)
+        if cached is not None:
+            PROFILER.count_cache_hit("trace")
+            return cached
+        weighted = app_name == "SSSP"
+        graph = self.reordered_graph(dataset, technique_name, degree_kind, weighted)
+        mapping = self.mapping(dataset, technique_name, degree_kind)
+        plan = self.plan(app_name, dataset, root).remap(mapping)
+        with PROFILER.stage("trace"):
+            trace = app.trace(graph, plan)
+        self.cache.set(disk_key, trace)
+        return trace
+
     def _compute_cell(self, app_name: str, dataset: str, technique_name: str) -> CellResult:
         app = make_app(app_name)
         weighted = app_name == "SSSP"
         degree_kind = app.reorder_degree_kind
         if "@" in technique_name:
             degree_kind = technique_name.partition("@")[2]
-        graph = self.reordered_graph(dataset, technique_name, degree_kind, weighted)
-        mapping = self.mapping(dataset, technique_name, degree_kind)
 
         roots = self.roots(dataset) if app_name in ROOT_APPS else [None]
         total_instr = 0
@@ -215,9 +280,11 @@ class ExperimentRunner:
         unit_cycles = []
         run_cycles = []
         for root in roots:
-            plan = self.plan(app_name, dataset, root).remap(mapping)
-            app_trace = app.trace(graph, plan)
-            stats = simulate_trace(app_trace.trace, self.config.hierarchy)
+            app_trace = self.app_trace(
+                app, app_name, dataset, technique_name, degree_kind, root
+            )
+            with PROFILER.stage("simulate"):
+                stats = simulate_trace(app_trace.trace, self.config.hierarchy)
             total_instr += app_trace.instructions
             total_accesses += stats.accesses
             total_l1m += stats.l1_misses
@@ -225,7 +292,8 @@ class ExperimentRunner:
             total_l3m += stats.l3_misses
             for k in breakdown:
                 breakdown[k] += stats.l2_miss_breakdown[k]
-            cycles = superstep_cycles(app_trace, stats, self.config.latencies)
+            with PROFILER.stage("model"):
+                cycles = superstep_cycles(app_trace, stats, self.config.latencies)
             step_cycles.append(cycles)
             per_run = cycles * app_trace.superstep_multiplier
             unit_cycles.append(per_run)  # one traversal / whole iterative run
@@ -240,9 +308,10 @@ class ExperimentRunner:
             total_run = mean_unit
         kilo = max(total_instr, 1) / 1000.0
         technique = self._make(technique_name, degree_kind)
-        reorder_cycles = self.config.cost_model.total_cycles(
-            technique, self.graph(dataset, weighted)
-        )
+        with PROFILER.stage("model"):
+            reorder_cycles = self.config.cost_model.total_cycles(
+                technique, self.graph(dataset, weighted)
+            )
         return CellResult(
             app=app_name,
             dataset=dataset,
@@ -287,7 +356,14 @@ class ExperimentRunner:
             initializer=_grid_worker_init,
             initargs=(self.config, str(self.cache.directory)),
         ) as pool:
-            return list(pool.map(_grid_worker_cell, cells))
+            results = []
+            for result, profile_delta in pool.map(_grid_worker_cell, cells):
+                # Fold each worker's per-cell stage timings into this
+                # process's profiler, so the breakdown covers the whole
+                # grid regardless of how the cells were distributed.
+                PROFILER.merge(profile_delta)
+                results.append(result)
+            return results
 
     # -- derived metrics -----------------------------------------------------
     def speedup(
@@ -322,9 +398,13 @@ def _grid_worker_init(config: ExperimentConfig, cache_dir: str) -> None:
     _WORKER_RUNNER = ExperimentRunner(config, cache=DiskCache(cache_dir))
 
 
-def _grid_worker_cell(spec: tuple[str, str, str]) -> CellResult:
+def _grid_worker_cell(
+    spec: tuple[str, str, str],
+) -> tuple[CellResult, dict[str, StageStats]]:
     assert _WORKER_RUNNER is not None, "worker used without initializer"
-    return _WORKER_RUNNER.cell(*spec)
+    before = PROFILER.snapshot()
+    result = _WORKER_RUNNER.cell(*spec)
+    return result, diff_snapshots(PROFILER.snapshot(), before)
 
 
 def geomean_speedup(speedups_pct: list[float]) -> float:

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.graph.csr import Graph
+from repro.framework.fasttrace import ragged_gather
 from repro.framework.trace import AddressSpace, AppTrace, Region, TraceBuilder
 
 __all__ = ["TracePlan", "SuperStep", "GraphApp", "core_of_vertices"]
@@ -43,9 +44,7 @@ def core_of_vertices(ids: np.ndarray, num_vertices: int, num_cores: int = NUM_CO
     Mirrors OpenMP static scheduling of the vertex loop, which is what pins
     coherence behaviour in the paper's push-mode analysis (Section VI-C).
     """
-    return (np.asarray(ids, dtype=np.int64) * num_cores // max(num_vertices, 1)).astype(
-        np.int16
-    )
+    return np.asarray(ids, dtype=np.int64) * num_cores // max(num_vertices, 1)
 
 
 @dataclass(frozen=True)
@@ -174,23 +173,16 @@ class GraphApp:
 
     # -- internals ---------------------------------------------------------
     def _gather(self, graph: Graph, active: np.ndarray | None, direction: str):
-        """Edge endpoints and edge-array positions for the super-step."""
+        """Edge endpoints, edge-array positions and per-edge owners for the
+        super-step, as ``(ids, lengths, positions, others, repeats)``."""
         offsets = graph.in_offsets if direction == "pull" else graph.out_offsets
         endpoints = graph.in_sources if direction == "pull" else graph.out_targets
         if active is None:
             ids = np.arange(graph.num_vertices, dtype=np.int64)
         else:
             ids = np.asarray(active, dtype=np.int64)
-        starts = offsets[ids]
-        lengths = (offsets[ids + 1] - starts).astype(np.int64)
-        total = int(lengths.sum())
-        if total == 0:
-            empty = np.empty(0, dtype=np.int64)
-            return ids, lengths, empty, empty
-        seg_starts = np.cumsum(lengths) - lengths
-        positions = np.repeat(starts - seg_starts, lengths) + np.arange(total)
-        others = endpoints[positions].astype(np.int64)
-        return ids, lengths, positions, others
+        lengths, positions, others, repeats = ragged_gather(offsets, endpoints, ids)
+        return ids, lengths, positions, others, repeats
 
     @staticmethod
     def _interleave_offsets(cores_per_edge: np.ndarray) -> np.ndarray:
@@ -243,11 +235,11 @@ class GraphApp:
     ) -> int:
         """Pull super-step: stream in-edges, read source properties, write
         one output per destination."""
-        ids, lengths, positions, srcs = self._gather(graph, step.active, "pull")
-        edges = int(positions.size)
-        dst_core_per_edge = core_of_vertices(
-            np.repeat(ids, lengths), graph.num_vertices
+        ids, lengths, positions, srcs, dst_per_edge = self._gather(
+            graph, step.active, "pull"
         )
+        edges = int(positions.size)
+        dst_core_per_edge = core_of_vertices(dst_per_edge, graph.num_vertices)
         offsets = self._interleave_offsets(dst_core_per_edge)
         edge_keys = np.arange(edges, dtype=np.float64) + offsets
         # Edge array: streamed just ahead of the property read it feeds.
@@ -292,11 +284,11 @@ class GraphApp:
         weight_region,
     ) -> int:
         """Push super-step: stream out-edges, write destination properties."""
-        ids, lengths, positions, dsts = self._gather(graph, step.active, "push")
-        edges = int(positions.size)
-        src_core_per_edge = core_of_vertices(
-            np.repeat(ids, lengths), graph.num_vertices
+        ids, lengths, positions, dsts, src_per_edge = self._gather(
+            graph, step.active, "push"
         )
+        edges = int(positions.size)
+        src_core_per_edge = core_of_vertices(src_per_edge, graph.num_vertices)
         offsets = self._interleave_offsets(src_core_per_edge)
         edge_keys = np.arange(edges, dtype=np.float64) + offsets
         self._add_stream_block_transitions(

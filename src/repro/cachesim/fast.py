@@ -5,32 +5,26 @@ Python interpreter loop (~2 M runs/s).  Because the hierarchy state is a
 sequential recurrence over a handful of tiny sets, no amount of numpy
 broadcasting removes the per-access dependency — so the fast path instead
 compiles an exact C port of the same loop (``_fastsim.c``, shipped next to
-this module) on first use with the system C compiler and drives it through
-:mod:`ctypes` over the run-length-compressed trace, streamed in
-fixed-size chunks of packed ndarrays (:meth:`MemoryTrace.chunks`).  The
-kernel is ~50-100x the reference and is verified counter-for-counter
-identical by the equivalence property tests.
+this module) on first use and drives it through :mod:`ctypes` over the
+run-length-compressed trace, streamed in fixed-size chunks of packed
+ndarrays (:meth:`MemoryTrace.chunks`).  The kernel is ~50-100x the
+reference and is verified counter-for-counter identical by the
+equivalence property tests.
 
-Engine availability is environmental (a C compiler must be on ``PATH``);
-``fast_available()`` reports it and the ``auto`` engine in
-:func:`repro.cachesim.hierarchy.simulate_trace` falls back to the
-reference loop when the kernel cannot be built.  Compiled libraries are
-cached under ``REPRO_KERNEL_DIR`` (default ``~/.cache/repro-kernels``),
-keyed by source hash, so compilation happens once per source revision.
+Building, caching (by source hash under ``REPRO_KERNEL_DIR``) and
+load-state memoization are shared with the trace-pipeline kernels through
+:mod:`repro._compile`.  Engine availability is environmental (a C
+compiler must be on ``PATH``); ``fast_available()`` reports it and the
+``auto`` engine in :func:`repro.cachesim.hierarchy.simulate_trace` falls
+back to the reference loop when the kernel cannot be built.
 """
 
 from __future__ import annotations
 
 import ctypes
-import hashlib
-import os
-import shutil
-import subprocess
-import sys
-import tempfile
-import threading
 from pathlib import Path
 
+from repro._compile import KernelUnavailable, LazyKernel, kernel_build_dir
 from repro.framework.trace import MemoryTrace
 
 __all__ = [
@@ -48,123 +42,52 @@ DEFAULT_CHUNK_RUNS = 1 << 20
 
 _POLICY_CODES = {"lru": 0, "fifo": 1, "lip": 2}
 
-_lock = threading.Lock()
-_kernel = None  #: loaded CDLL, or an Exception recording why loading failed
-
-
-class KernelUnavailable(RuntimeError):
-    """The compiled kernel could not be built or loaded."""
-
 
 def _source_path() -> Path:
     return Path(__file__).with_name("_fastsim.c")
 
 
-def kernel_build_dir() -> Path:
-    """Where compiled kernels are cached (override: ``REPRO_KERNEL_DIR``)."""
-    env = os.environ.get("REPRO_KERNEL_DIR")
-    if env:
-        return Path(env)
-    home = Path.home()
-    if os.access(home, os.W_OK):
-        return home / ".cache" / "repro-kernels"
-    return Path(tempfile.gettempdir()) / f"repro-kernels-{os.getuid()}"
+def _configure(lib: ctypes.CDLL) -> None:
+    i64 = ctypes.c_int64
+    p64 = ctypes.POINTER(ctypes.c_int64)
+    lib.repro_sim_create.argtypes = [i64] * 8 + [ctypes.c_int32]
+    lib.repro_sim_create.restype = ctypes.c_void_p
+    lib.repro_sim_step.argtypes = [
+        ctypes.c_void_p,
+        p64,
+        p64,
+        ctypes.POINTER(ctypes.c_uint8),
+        p64,
+        i64,
+    ]
+    lib.repro_sim_step.restype = ctypes.c_int32
+    lib.repro_sim_counters.argtypes = [ctypes.c_void_p, p64]
+    lib.repro_sim_counters.restype = None
+    lib.repro_sim_destroy.argtypes = [ctypes.c_void_p]
+    lib.repro_sim_destroy.restype = None
 
 
-def _find_compiler() -> str | None:
-    for candidate in (os.environ.get("CC"), "cc", "gcc", "clang"):
-        if candidate and shutil.which(candidate):
-            return candidate
-    return None
-
-
-def _compile_kernel(source: Path, lib_path: Path) -> None:
-    compiler = _find_compiler()
-    if compiler is None:
-        raise KernelUnavailable("no C compiler (cc/gcc/clang) on PATH")
-    lib_path.parent.mkdir(parents=True, exist_ok=True)
-    # Unique temp output + atomic rename: concurrent builders never hand a
-    # half-written library to a concurrent loader.
-    tmp = lib_path.with_name(
-        f".{lib_path.name}.{os.getpid()}.{os.urandom(4).hex()}.tmp"
-    )
-    cmd = [compiler, "-O3", "-shared", "-fPIC", "-o", str(tmp), str(source)]
-    try:
-        proc = subprocess.run(cmd, capture_output=True, text=True, timeout=120)
-    except (OSError, subprocess.TimeoutExpired) as exc:
-        raise KernelUnavailable(f"kernel compilation failed to run: {exc}") from exc
-    if proc.returncode != 0:
-        tmp.unlink(missing_ok=True)
-        raise KernelUnavailable(
-            f"kernel compilation failed ({' '.join(cmd)}):\n{proc.stderr.strip()}"
-        )
-    os.replace(tmp, lib_path)
+_KERNEL = LazyKernel(_source_path(), "fastsim", _configure)
 
 
 def _load_kernel() -> ctypes.CDLL:
     """Build (once) and load the kernel; caches success *and* failure."""
-    global _kernel
-    with _lock:
-        if isinstance(_kernel, ctypes.CDLL):
-            return _kernel
-        if isinstance(_kernel, Exception):
-            raise KernelUnavailable(str(_kernel)) from _kernel
-        try:
-            source = _source_path()
-            digest = hashlib.sha256(source.read_bytes()).hexdigest()[:16]
-            lib_path = kernel_build_dir() / (
-                f"fastsim-{digest}-py{sys.version_info[0]}{sys.version_info[1]}.so"
-            )
-            if not lib_path.exists():
-                _compile_kernel(source, lib_path)
-            lib = ctypes.CDLL(str(lib_path))
-            i64 = ctypes.c_int64
-            p64 = ctypes.POINTER(ctypes.c_int64)
-            lib.repro_sim_create.argtypes = [i64] * 8 + [ctypes.c_int32]
-            lib.repro_sim_create.restype = ctypes.c_void_p
-            lib.repro_sim_step.argtypes = [
-                ctypes.c_void_p,
-                p64,
-                p64,
-                ctypes.POINTER(ctypes.c_uint8),
-                p64,
-                i64,
-            ]
-            lib.repro_sim_step.restype = ctypes.c_int32
-            lib.repro_sim_counters.argtypes = [ctypes.c_void_p, p64]
-            lib.repro_sim_counters.restype = None
-            lib.repro_sim_destroy.argtypes = [ctypes.c_void_p]
-            lib.repro_sim_destroy.restype = None
-        except Exception as exc:
-            _kernel = exc
-            raise KernelUnavailable(str(exc)) from exc
-        _kernel = lib
-        return lib
+    return _KERNEL.load()
 
 
 def fast_available() -> bool:
     """Whether the compiled engine can be used in this environment."""
-    try:
-        _load_kernel()
-        return True
-    except KernelUnavailable:
-        return False
+    return _KERNEL.available()
 
 
 def kernel_unavailable_reason() -> str | None:
     """Why ``fast_available()`` is False (``None`` when it is True)."""
-    try:
-        _load_kernel()
-        return None
-    except KernelUnavailable as exc:
-        return str(exc)
+    return _KERNEL.unavailable_reason()
 
 
 def _reset_kernel_cache() -> None:
     """Forget the cached load result (test hook)."""
-    global _kernel
-    with _lock:
-        _kernel = None
+    _KERNEL.reset()
 
 
 class FastSimulator:

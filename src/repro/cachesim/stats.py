@@ -1,4 +1,4 @@
-"""Throughput instrumentation for the simulation engines.
+"""Throughput instrumentation for the compiled/reference engine pairs.
 
 Every :func:`repro.cachesim.simulate_trace` call records which engine ran,
 how many (logical) accesses and compressed runs it processed and how long
@@ -7,16 +7,27 @@ simulated — the equivalence/microbench harnesses print them, and
 ``BENCH_cachesim.json`` archives them — without threading timing code
 through every caller.
 
-Counters are process-local (each grid worker accumulates its own) and
-guarded by a lock so threaded callers do not corrupt them.
+The same pattern serves the trace-construction engines: the generic
+:class:`CounterRegistry` here backs both this module's process-local
+simulator counters and the builder counters in
+:mod:`repro.framework.fasttrace`.  Counters are process-local (each grid
+worker accumulates its own) and guarded by a lock so threaded callers do
+not corrupt them.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-__all__ = ["EngineStats", "record", "snapshot", "reset", "format_snapshot"]
+__all__ = [
+    "EngineStats",
+    "CounterRegistry",
+    "record",
+    "snapshot",
+    "reset",
+    "format_snapshot",
+]
 
 
 @dataclass
@@ -47,45 +58,74 @@ class EngineStats:
         }
 
 
-_lock = threading.Lock()
-_counters: dict[str, EngineStats] = {}
+class CounterRegistry:
+    """Lock-guarded per-engine :class:`EngineStats` accumulators.
+
+    ``domain`` only affects :meth:`format_snapshot` labels (e.g.
+    ``cachesim[fast]`` vs ``tracebuild[fast]``).
+    """
+
+    def __init__(self, domain: str) -> None:
+        self.domain = domain
+        self._lock = threading.Lock()
+        self._counters: dict[str, EngineStats] = {}
+
+    def record(self, engine: str, runs: int, accesses: int, seconds: float) -> None:
+        """Account one engine call."""
+        with self._lock:
+            stats = self._counters.setdefault(engine, EngineStats())
+            stats.calls += 1
+            stats.runs += runs
+            stats.accesses += accesses
+            stats.seconds += seconds
+
+    def snapshot(self) -> dict[str, EngineStats]:
+        """Copy of the per-engine counters accumulated so far."""
+        with self._lock:
+            return {
+                name: EngineStats(s.calls, s.runs, s.accesses, s.seconds)
+                for name, s in self._counters.items()
+            }
+
+    def reset(self) -> None:
+        """Zero all counters (benchmark harnesses call this between phases)."""
+        with self._lock:
+            self._counters.clear()
+
+    def format_snapshot(self, counters: dict[str, EngineStats] | None = None) -> str:
+        """Human-readable one-line-per-engine summary (for CI logs)."""
+        counters = self.snapshot() if counters is None else counters
+        if not counters:
+            return f"{self.domain}: no work recorded"
+        lines = []
+        for name in sorted(counters):
+            s = counters[name]
+            lines.append(
+                f"{self.domain}[{name}]: {s.accesses:,} accesses in {s.seconds:.3f}s "
+                f"({s.accesses_per_second / 1e6:.1f} M acc/s, {s.calls} calls)"
+            )
+        return "\n".join(lines)
+
+
+#: The cache-simulation engine counters (module-level API kept for callers).
+_SIM = CounterRegistry("cachesim")
 
 
 def record(engine: str, runs: int, accesses: int, seconds: float) -> None:
     """Account one simulate_trace call to ``engine``."""
-    with _lock:
-        stats = _counters.setdefault(engine, EngineStats())
-        stats.calls += 1
-        stats.runs += runs
-        stats.accesses += accesses
-        stats.seconds += seconds
+    _SIM.record(engine, runs, accesses, seconds)
 
 
 def snapshot() -> dict[str, EngineStats]:
     """Copy of the per-engine counters accumulated so far."""
-    with _lock:
-        return {
-            name: EngineStats(s.calls, s.runs, s.accesses, s.seconds)
-            for name, s in _counters.items()
-        }
+    return _SIM.snapshot()
 
 
 def reset() -> None:
     """Zero all counters (benchmark harnesses call this between phases)."""
-    with _lock:
-        _counters.clear()
+    _SIM.reset()
 
 
 def format_snapshot(counters: dict[str, EngineStats] | None = None) -> str:
     """Human-readable one-line-per-engine summary (for CI logs)."""
-    counters = snapshot() if counters is None else counters
-    if not counters:
-        return "cachesim: no simulations recorded"
-    lines = []
-    for name in sorted(counters):
-        s = counters[name]
-        lines.append(
-            f"cachesim[{name}]: {s.accesses:,} accesses in {s.seconds:.3f}s "
-            f"({s.accesses_per_second / 1e6:.1f} M acc/s, {s.calls} calls)"
-        )
-    return "\n".join(lines)
+    return _SIM.format_snapshot(counters)

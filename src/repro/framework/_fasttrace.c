@@ -1,0 +1,636 @@
+/* Fast-path trace-construction kernels.
+ *
+ * Exact C ports of the three trace-pipeline hot spots, each verified
+ * element-for-element identical to its numpy reference by the
+ * equivalence suites (tests/framework/test_fasttrace.py,
+ * tests/reorder/test_gorder_fast.py); any behavioural change here must
+ * keep that property (or change both implementations together).
+ *
+ *   repro_gather       — ragged CSR edge gather: the positions/endpoints
+ *                        expansion behind GraphApp._gather and
+ *                        edge_map's gather_out/gather_in.
+ *   repro_trace_build  — keyed multi-stream merge + run-length
+ *                        compression: TraceBuilder.build without the
+ *                        global float64 argsort.  Keys are mapped onto
+ *                        an order-preserving uint64 transform (both
+ *                        zeros collapse to one image so -0.0/+0.0 stay
+ *                        in insertion order; NaNs are unsupported and
+ *                        never produced by the trace builders).  Real
+ *                        builder inputs are concatenations of few long
+ *                        ascending runs (one per core per stream), so
+ *                        the kernel detects runs and k-way merges them
+ *                        through a replacement-selection heap, emitting
+ *                        the run-length-compressed trace directly with
+ *                        no permutation array.  Inputs with too many
+ *                        runs (effectively unsorted) fall back to a
+ *                        counting sort when the keys sit on the
+ *                        builders' quarter-integer lattice with a
+ *                        bounded range, and to a stable LSD radix sort
+ *                        otherwise.  All paths reproduce numpy's stable
+ *                        argsort order exactly.
+ *   repro_gorder       — the Gorder greedy placement loop: lazy max-heap
+ *                        plus windowed affinity score updates, matching
+ *                        Python heapq tuple ordering exactly.
+ *
+ * Compiled on demand by repro/_compile.py with the system C compiler
+ * into a shared library and driven through ctypes.
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+/* ---------------------------------------------------------------- gather */
+
+/* Expand the CSR ranges of `ids` in order.  For the k-th edge overall:
+ * positions[k] = its index into the edge array, others[k] = its endpoint,
+ * repeats[k] = the id it belongs to (may be NULL when not needed).
+ * Output arrays must hold sum of the ids' degrees. */
+void repro_gather(const int64_t *offsets, const int32_t *endpoints,
+                  const int64_t *ids, int64_t n_ids, int64_t *positions,
+                  int64_t *others, int64_t *repeats) {
+    int64_t k = 0;
+    for (int64_t i = 0; i < n_ids; i++) {
+        int64_t v = ids[i];
+        int64_t end = offsets[v + 1];
+        for (int64_t p = offsets[v]; p < end; p++) {
+            positions[k] = p;
+            others[k] = (int64_t)endpoints[p];
+            k++;
+        }
+    }
+    if (repeats) {
+        k = 0;
+        for (int64_t i = 0; i < n_ids; i++) {
+            int64_t v = ids[i];
+            int64_t deg = offsets[v + 1] - offsets[v];
+            for (int64_t j = 0; j < deg; j++)
+                repeats[k++] = v;
+        }
+    }
+}
+
+/* ----------------------------------------------------------- trace build */
+
+/* Map a finite double onto a uint64 whose unsigned order matches the
+ * double's `<` order; both zeros collapse so equal-comparing keys keep
+ * their insertion order under the stable radix sort, like numpy. */
+static uint64_t key_bits(double d) {
+    uint64_t u;
+    memcpy(&u, &d, sizeof u);
+    if ((u << 1) == 0) /* +0.0 or -0.0 */
+        return 0x8000000000000000ull;
+    return (u >> 63) ? ~u : (u | 0x8000000000000000ull);
+}
+
+/* Run-length-compressed output sink: merge consecutive accesses to the
+ * same block by the same core with the same read/write kind. */
+typedef struct {
+    int64_t *blocks;
+    int64_t *counts;
+    uint8_t *writes;
+    int64_t *cores;
+    int64_t r;
+    int64_t prev_block, prev_core;
+    uint8_t prev_write;
+} RleOut;
+
+static inline void rle_emit(RleOut *o, int64_t blk, uint8_t w, int64_t c) {
+    if (o->r && blk == o->prev_block && w == o->prev_write && c == o->prev_core) {
+        o->counts[o->r - 1]++;
+    } else {
+        o->blocks[o->r] = blk;
+        o->counts[o->r] = 1;
+        o->writes[o->r] = w;
+        o->cores[o->r] = c;
+        o->prev_block = blk;
+        o->prev_write = w;
+        o->prev_core = c;
+        o->r++;
+    }
+}
+
+/* A merge-heap entry: one ascending run's cursor.  Ordered by
+ * (kb, pos) — pos is globally unique, giving a total order, and within
+ * a run positions ascend while keys never descend, so popping in
+ * (kb, pos) order reproduces the stable sort exactly. */
+typedef struct {
+    uint64_t kb;
+    int64_t pos, end;
+} RunHead;
+
+static inline int head_before(const RunHead *a, const RunHead *b) {
+    return a->kb < b->kb || (a->kb == b->kb && a->pos < b->pos);
+}
+
+/* K-way replacement-selection merge of the pre-detected ascending runs.
+ * One pass, no permutation array or materialized key transform; the
+ * payload reads follow one sequential cursor per run.  On realistic
+ * traces the heap's top holds the handful of currently-interleaving
+ * streams, so each pop sifts only a level or two.  Returns the
+ * compressed length, or -1 on allocation failure. */
+static int64_t merge_build(const double *keys, const int64_t *blocks,
+                           const uint8_t *writes, const int64_t *cores,
+                           const int64_t *run_starts, int64_t nruns, int64_t n,
+                           RleOut *out) {
+    RunHead *heap = (RunHead *)malloc((size_t)nruns * sizeof(RunHead));
+    if (!heap)
+        return -1;
+    int64_t size = 0;
+    for (int64_t r = 0; r < nruns; r++) {
+        int64_t start = run_starts[r];
+        int64_t end = (r + 1 < nruns) ? run_starts[r + 1] : n;
+        RunHead h = {key_bits(keys[start]), start, end};
+        int64_t j = size++;
+        while (j > 0) {
+            int64_t p = (j - 1) / 2;
+            if (head_before(&heap[p], &h))
+                break;
+            heap[j] = heap[p];
+            j = p;
+        }
+        heap[j] = h;
+    }
+    while (size) {
+        RunHead h = heap[0];
+        int64_t j = h.pos;
+        rle_emit(out, blocks[j], writes[j], cores[j]);
+        h.pos++;
+        if (h.pos < h.end) {
+            h.kb = key_bits(keys[h.pos]);
+        } else {
+            h = heap[--size];
+            if (!size)
+                break;
+        }
+        int64_t i = 0;
+        for (;;) {
+            int64_t c = 2 * i + 1;
+            if (c >= size)
+                break;
+            if (c + 1 < size && head_before(&heap[c + 1], &heap[c]))
+                c++;
+            if (!head_before(&heap[c], &h))
+                break;
+            heap[i] = heap[c];
+            i = c;
+        }
+        heap[i] = h;
+    }
+    free(heap);
+    return out->r;
+}
+
+/* Stable LSD radix sort carrying (transformed key, original index)
+ * pairs in one interleaved array — half the scatter write streams of
+ * split key/index arrays — with the final payload gather fused into the
+ * RLE sink.  The fallback for effectively-unsorted inputs where run
+ * merging would degenerate.  Returns the compressed length, or -1 on
+ * allocation failure. */
+typedef struct {
+    uint64_t kb;
+    int64_t idx;
+} KeyIdx;
+
+static int64_t radix_build(const double *keys, const int64_t *blocks,
+                           const uint8_t *writes, const int64_t *cores,
+                           int64_t n, RleOut *out) {
+    KeyIdx *a = (KeyIdx *)malloc((size_t)n * sizeof(KeyIdx));
+    KeyIdx *b = (KeyIdx *)malloc((size_t)n * sizeof(KeyIdx));
+    if (!a || !b) {
+        free(a);
+        free(b);
+        return -1;
+    }
+
+    uint64_t hist[8][256];
+    memset(hist, 0, sizeof hist);
+    for (int64_t i = 0; i < n; i++) {
+        uint64_t u = key_bits(keys[i]);
+        a[i].kb = u;
+        a[i].idx = i;
+        for (int p = 0; p < 8; p++)
+            hist[p][(u >> (8 * p)) & 255]++;
+    }
+
+    KeyIdx *src = a, *dst = b;
+    for (int p = 0; p < 8; p++) {
+        const uint64_t *h = hist[p];
+        int buckets = 0;
+        for (int j = 0; j < 256; j++)
+            if (h[j])
+                buckets++;
+        if (buckets <= 1) /* all keys share this byte: pass is a no-op */
+            continue;
+        uint64_t offs[256], sum = 0;
+        for (int j = 0; j < 256; j++) {
+            offs[j] = sum;
+            sum += h[j];
+        }
+        int shift = 8 * p;
+        for (int64_t i = 0; i < n; i++) {
+            uint64_t pos = offs[(src[i].kb >> shift) & 255]++;
+            dst[pos] = src[i];
+        }
+        KeyIdx *t = src;
+        src = dst;
+        dst = t;
+    }
+
+    for (int64_t i = 0; i < n; i++) {
+        int64_t j = src[i].idx;
+        rle_emit(out, blocks[j], writes[j], cores[j]);
+    }
+
+    free(a);
+    free(b);
+    return out->r;
+}
+
+/* The trace builders key streams on a quarter-integer lattice (edge or
+ * vertex index plus dyadic stream offsets like -0.5/-0.25/+0.25), so
+ * 4*key integerizes them exactly; keys off the lattice (e.g. the
+ * inexact -0.4 weight-stream offset) simply fail the check and take the
+ * radix path.  When the check holds and the key range is bounded, a
+ * one-pass stable counting sort beats the radix fallback by the number
+ * of radix passes. */
+#define LATTICE_SCALE 4.0
+
+static inline int64_t lattice_val(double d, int *ok) {
+    double q = d * LATTICE_SCALE;
+    if (!(q >= -2.3e18 && q <= 2.3e18)) { /* int64-safe magnitude */
+        *ok = 0;
+        return 0;
+    }
+    int64_t v = (int64_t)q;
+    if ((double)v != q)
+        *ok = 0;
+    return v;
+}
+
+/* Stable counting sort over integerized lattice keys: one histogram
+ * pass, one prefix sum, then the payload scattered straight into the
+ * output arrays and run-length compressed in place (the compressed
+ * cursor never overtakes the read cursor).  No permutation array, no
+ * final random gather.  Returns the compressed length, or -1 on
+ * allocation failure. */
+static int64_t counting_build(const double *keys, const int64_t *blocks,
+                              const uint8_t *writes, const int64_t *cores,
+                              int64_t n, int64_t vmin, int64_t range,
+                              int64_t *out_blocks, int64_t *out_counts,
+                              uint8_t *out_writes, int64_t *out_cores) {
+    uint32_t *hist = (uint32_t *)calloc((size_t)range + 1, sizeof(uint32_t));
+    if (!hist)
+        return -1;
+    for (int64_t i = 0; i < n; i++)
+        hist[(int64_t)(keys[i] * LATTICE_SCALE) - vmin]++;
+    uint32_t sum = 0;
+    for (int64_t v = 0; v <= range; v++) {
+        uint32_t c = hist[v];
+        hist[v] = sum;
+        sum += c;
+    }
+    /* When (block, core, write) fits one int64 — blocks under 2^44,
+     * cores under 2^18, always true for real address spaces — scatter
+     * just 8 packed bytes per element into out_counts (scratch until
+     * the RLE pass), halving the random-write traffic.  The unpack +
+     * RLE pass is sequential, and its writes never overtake its reads:
+     * out_counts[r-1]/out_counts[r] with r <= i touch only positions
+     * already consumed or being consumed. */
+    int pack_ok = 1;
+    for (int64_t i = 0; i < n; i++)
+        pack_ok &= (blocks[i] >= 0) & (blocks[i] < ((int64_t)1 << 44)) &
+                   (cores[i] >= 0) & (cores[i] < ((int64_t)1 << 18));
+    int64_t r = 0;
+    int64_t prev_block = 0, prev_core = 0;
+    uint8_t prev_write = 0;
+    if (pack_ok) {
+        for (int64_t i = 0; i < n; i++) {
+            uint32_t p = hist[(int64_t)(keys[i] * LATTICE_SCALE) - vmin]++;
+            out_counts[p] = (blocks[i] << 19) | (cores[i] << 1) |
+                            (int64_t)(writes[i] != 0);
+        }
+        free(hist);
+        for (int64_t i = 0; i < n; i++) {
+            int64_t packed = out_counts[i];
+            int64_t blk = packed >> 19;
+            uint8_t w = (uint8_t)(packed & 1);
+            int64_t c = (packed >> 1) & (((int64_t)1 << 18) - 1);
+            if (r && blk == prev_block && w == prev_write && c == prev_core) {
+                out_counts[r - 1]++;
+            } else {
+                out_blocks[r] = blk;
+                out_counts[r] = 1;
+                out_writes[r] = w;
+                out_cores[r] = c;
+                prev_block = blk;
+                prev_write = w;
+                prev_core = c;
+                r++;
+            }
+        }
+        return r;
+    }
+    for (int64_t i = 0; i < n; i++) {
+        uint32_t p = hist[(int64_t)(keys[i] * LATTICE_SCALE) - vmin]++;
+        out_blocks[p] = blocks[i];
+        out_writes[p] = writes[i];
+        out_cores[p] = cores[i];
+    }
+    free(hist);
+    for (int64_t i = 0; i < n; i++) {
+        int64_t blk = out_blocks[i];
+        uint8_t w = out_writes[i];
+        int64_t c = out_cores[i];
+        if (r && blk == prev_block && w == prev_write && c == prev_core) {
+            out_counts[r - 1]++;
+        } else {
+            out_blocks[r] = blk;
+            out_counts[r] = 1;
+            out_writes[r] = w;
+            out_cores[r] = c;
+            prev_block = blk;
+            prev_write = w;
+            prev_core = c;
+            r++;
+        }
+    }
+    return r;
+}
+
+/* Above this many detected runs the input is effectively unsorted and
+ * the counting/radix fallbacks win; below it the single-pass run merge
+ * does. */
+#define MERGE_MAX_RUNS 16384
+
+/* Stable merge of the concatenated keyed streams + run-length
+ * compression.  Inputs are the concatenated per-stream arrays; outputs
+ * must hold n entries (the compressed prefix is used).  Returns the run
+ * count, or -1 on allocation failure. */
+int64_t repro_trace_build(const int64_t *blocks, const double *keys,
+                          const uint8_t *writes, const int64_t *cores,
+                          int64_t n, int64_t *out_blocks, int64_t *out_counts,
+                          uint8_t *out_writes, int64_t *out_cores) {
+    if (n == 0)
+        return 0;
+    int64_t *run_starts =
+        (int64_t *)malloc((size_t)MERGE_MAX_RUNS * sizeof(int64_t));
+    if (!run_starts)
+        return -1;
+    int64_t nruns = 1;
+    run_starts[0] = 0;
+    uint64_t prev = key_bits(keys[0]);
+    int64_t i = 1;
+    for (; i < n; i++) {
+        uint64_t u = key_bits(keys[i]);
+        if (u < prev) {
+            if (nruns == MERGE_MAX_RUNS)
+                break; /* effectively unsorted: radix instead */
+            run_starts[nruns++] = i;
+        }
+        prev = u;
+    }
+    RleOut out = {out_blocks, out_counts, out_writes, out_cores, 0, 0, 0, 0};
+    int64_t r;
+    if (i == n) {
+        r = merge_build(keys, blocks, writes, cores, run_starts, nruns, n,
+                        &out);
+    } else {
+        /* Effectively unsorted: integerizable bounded-range keys take
+         * the one-pass counting sort, anything else the radix sort. */
+        int lattice = 1;
+        int64_t vmin = INT64_MAX, vmax = INT64_MIN;
+        for (int64_t j = 0; j < n && lattice; j++) {
+            int64_t v = lattice_val(keys[j], &lattice);
+            if (v < vmin)
+                vmin = v;
+            if (v > vmax)
+                vmax = v;
+        }
+        int64_t range = vmax - vmin;
+        if (lattice && range < 8 * n && n < (int64_t)1 << 31)
+            r = counting_build(keys, blocks, writes, cores, n, vmin, range,
+                               out_blocks, out_counts, out_writes, out_cores);
+        else
+            r = radix_build(keys, blocks, writes, cores, n, &out);
+    }
+    free(run_starts);
+    return r;
+}
+
+/* ----------------------------------------------------------------- gorder */
+
+/* Min-heap of (key, u) pairs with Python-tuple lexicographic order;
+ * key = -score, so the minimum is the highest-affinity vertex with the
+ * lowest id breaking ties, exactly like heapq over (-score, u). */
+typedef struct {
+    int64_t *key;
+    int64_t *u;
+    int64_t size, cap;
+} Heap;
+
+static int heap_reserve(Heap *h) {
+    if (h->size < h->cap)
+        return 0;
+    int64_t cap = h->cap ? h->cap * 2 : 1024;
+    int64_t *nk = (int64_t *)realloc(h->key, (size_t)cap * sizeof(int64_t));
+    if (!nk)
+        return -1;
+    h->key = nk;
+    int64_t *nu = (int64_t *)realloc(h->u, (size_t)cap * sizeof(int64_t));
+    if (!nu)
+        return -1;
+    h->u = nu;
+    h->cap = cap;
+    return 0;
+}
+
+static int heap_push(Heap *h, int64_t key, int64_t u) {
+    if (heap_reserve(h) != 0)
+        return -1;
+    int64_t i = h->size++;
+    while (i > 0) {
+        int64_t p = (i - 1) / 2;
+        if (h->key[p] < key || (h->key[p] == key && h->u[p] <= u))
+            break;
+        h->key[i] = h->key[p];
+        h->u[i] = h->u[p];
+        i = p;
+    }
+    h->key[i] = key;
+    h->u[i] = u;
+    return 0;
+}
+
+static void heap_pop(Heap *h, int64_t *key, int64_t *u) {
+    *key = h->key[0];
+    *u = h->u[0];
+    h->size--;
+    int64_t lk = h->key[h->size], lu = h->u[h->size];
+    int64_t i = 0;
+    for (;;) {
+        int64_t c = 2 * i + 1;
+        if (c >= h->size)
+            break;
+        if (c + 1 < h->size &&
+            (h->key[c + 1] < h->key[c] ||
+             (h->key[c + 1] == h->key[c] && h->u[c + 1] < h->u[c])))
+            c++;
+        if (lk < h->key[c] || (lk == h->key[c] && lu <= h->u[c]))
+            break;
+        h->key[i] = h->key[c];
+        h->u[i] = h->u[c];
+        i = c;
+    }
+    h->key[i] = lk;
+    h->u[i] = lu;
+}
+
+/* One window slot: the unique vertices whose score a placement changed
+ * plus their per-vertex increments, so sliding out subtracts exactly
+ * what joining added. */
+typedef struct {
+    int64_t *verts;
+    int64_t *cnts;
+    int64_t size, cap;
+} Slot;
+
+static int slot_append(Slot *sl, int64_t w) {
+    if (sl->size == sl->cap) {
+        int64_t cap = sl->cap ? sl->cap * 2 : 64;
+        int64_t *nv = (int64_t *)realloc(sl->verts, (size_t)cap * sizeof(int64_t));
+        if (!nv)
+            return -1;
+        sl->verts = nv;
+        int64_t *nc = (int64_t *)realloc(sl->cnts, (size_t)cap * sizeof(int64_t));
+        if (!nc)
+            return -1;
+        sl->cnts = nc;
+        sl->cap = cap;
+    }
+    sl->verts[sl->size++] = w;
+    return 0;
+}
+
+/* Tally one occurrence of w in the affinity multiset. */
+static int tally(Slot *sl, int64_t *delta, int64_t w) {
+    if (delta[w] == 0 && slot_append(sl, w) != 0)
+        return -1;
+    delta[w]++;
+    return 0;
+}
+
+/* The Gorder placement loop (Wei et al. SIGMOD'16, as implemented by
+ * repro/reorder/gorder.py): place `start` first, then repeatedly place
+ * the unplaced vertex with the highest affinity to the `window` most
+ * recently placed ones.  Writes the placement order (old vertex ids in
+ * placement sequence) into `order`.  Returns 0, or -1 on allocation
+ * failure. */
+int32_t repro_gorder(const int64_t *out_offsets, const int32_t *out_targets,
+                     const int64_t *in_offsets, const int32_t *in_sources,
+                     int64_t n, int64_t window, double hub_cap, int64_t start,
+                     int64_t *order) {
+    int32_t rc = -1;
+    int64_t *score = (int64_t *)calloc((size_t)n, sizeof(int64_t));
+    int64_t *queued = (int64_t *)malloc((size_t)n * sizeof(int64_t));
+    int64_t *delta = (int64_t *)calloc((size_t)n, sizeof(int64_t));
+    uint8_t *placed = (uint8_t *)calloc((size_t)n, sizeof(uint8_t));
+    int64_t n_slots = window + 1;
+    Slot *slots = (Slot *)calloc((size_t)n_slots, sizeof(Slot));
+    Heap heap = {0, 0, 0, 0};
+    if (!score || !queued || !delta || !placed || !slots)
+        goto done;
+    for (int64_t i = 0; i < n; i++)
+        queued[i] = -1;
+
+    int64_t slot_head = 0, slot_count = 0;
+    int64_t next_unplaced = 0;
+    int64_t current = start;
+    for (int64_t pos = 0; pos < n; pos++) {
+        placed[current] = 1;
+        order[pos] = current;
+
+        /* Affinity multiset of `current`: direct out/in neighbours plus
+         * the out-lists of non-hub in-neighbours (the sibling term). */
+        Slot *sl = &slots[(slot_head + slot_count) % n_slots];
+        sl->size = 0;
+        for (int64_t p = out_offsets[current]; p < out_offsets[current + 1]; p++)
+            if (tally(sl, delta, (int64_t)out_targets[p]) != 0)
+                goto done;
+        for (int64_t p = in_offsets[current]; p < in_offsets[current + 1]; p++) {
+            int64_t u = (int64_t)in_sources[p];
+            if (tally(sl, delta, u) != 0)
+                goto done;
+            int64_t deg = out_offsets[u + 1] - out_offsets[u];
+            if ((double)deg > hub_cap)
+                continue;
+            for (int64_t q = out_offsets[u]; q < out_offsets[u + 1]; q++)
+                if (tally(sl, delta, (int64_t)out_targets[q]) != 0)
+                    goto done;
+        }
+        for (int64_t j = 0; j < sl->size; j++) {
+            int64_t w = sl->verts[j];
+            sl->cnts[j] = delta[w];
+            score[w] += delta[w];
+            delta[w] = 0;
+        }
+        for (int64_t j = 0; j < sl->size; j++) {
+            int64_t w = sl->verts[j];
+            if (!placed[w] && score[w] > queued[w]) {
+                queued[w] = score[w];
+                if (heap_push(&heap, -score[w], w) != 0)
+                    goto done;
+            }
+        }
+        slot_count++;
+        if (slot_count > window) {
+            Slot *old = &slots[slot_head];
+            for (int64_t j = 0; j < old->size; j++)
+                score[old->verts[j]] -= old->cnts[j];
+            slot_head = (slot_head + 1) % n_slots;
+            slot_count--;
+        }
+
+        if (pos == n - 1)
+            break;
+
+        current = -1;
+        while (heap.size) {
+            int64_t k, u;
+            heap_pop(&heap, &k, &u);
+            if (placed[u])
+                continue;
+            if (-k != score[u]) {
+                /* Score decayed since queueing; requeue at today's value. */
+                queued[u] = score[u];
+                if (heap_push(&heap, -score[u], u) != 0)
+                    goto done;
+                continue;
+            }
+            current = u;
+            break;
+        }
+        if (current < 0) {
+            while (placed[next_unplaced])
+                next_unplaced++;
+            current = next_unplaced;
+        }
+    }
+    rc = 0;
+
+done:
+    free(score);
+    free(queued);
+    free(delta);
+    free(placed);
+    if (slots) {
+        for (int64_t i = 0; i < n_slots; i++) {
+            free(slots[i].verts);
+            free(slots[i].cnts);
+        }
+        free(slots);
+    }
+    free(heap.key);
+    free(heap.u);
+    return rc;
+}

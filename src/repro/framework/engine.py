@@ -23,6 +23,7 @@ from typing import Callable
 import numpy as np
 
 from repro.graph.csr import Graph
+from repro.framework.fasttrace import ragged_gather
 from repro.framework.vertex_subset import VertexSubset
 
 __all__ = ["edge_map", "vertex_map", "EdgeMapResult", "gather_out", "gather_in"]
@@ -35,16 +36,9 @@ def gather_out(
     graph: Graph, ids: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
     """All out-edges of ``ids`` as ``(src, dst, weights)`` arrays."""
-    starts = graph.out_offsets[ids]
-    lengths = (graph.out_offsets[ids + 1] - starts).astype(np.int64)
-    total = int(lengths.sum())
-    if total == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return empty, empty, (np.empty(0) if graph.is_weighted else None)
-    seg_starts = np.cumsum(lengths) - lengths
-    idx = np.repeat(starts - seg_starts, lengths) + np.arange(total)
-    src = np.repeat(ids, lengths)
-    dst = graph.out_targets[idx].astype(np.int64)
+    _, idx, dst, src = ragged_gather(graph.out_offsets, graph.out_targets, ids)
+    if dst.size == 0:
+        return src, dst, (np.empty(0) if graph.is_weighted else None)
     weights = graph.out_weights[idx] if graph.is_weighted else None
     return src, dst, weights
 
@@ -53,16 +47,9 @@ def gather_in(
     graph: Graph, ids: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
     """All in-edges of ``ids`` as ``(src, dst, weights)`` arrays."""
-    starts = graph.in_offsets[ids]
-    lengths = (graph.in_offsets[ids + 1] - starts).astype(np.int64)
-    total = int(lengths.sum())
-    if total == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return empty, empty, (np.empty(0) if graph.is_weighted else None)
-    seg_starts = np.cumsum(lengths) - lengths
-    idx = np.repeat(starts - seg_starts, lengths) + np.arange(total)
-    dst = np.repeat(ids, lengths)
-    src = graph.in_sources[idx].astype(np.int64)
+    _, idx, src, dst = ragged_gather(graph.in_offsets, graph.in_sources, ids)
+    if src.size == 0:
+        return src, dst, (np.empty(0) if graph.is_weighted else None)
     weights = graph.in_weights[idx] if graph.is_weighted else None
     return src, dst, weights
 

@@ -67,7 +67,7 @@ class MemoryTrace:
     blocks: np.ndarray  #: int64 cache-block IDs, one per run
     counts: np.ndarray  #: accesses per run (>= 1); repeats within a block
     writes: np.ndarray  #: bool, whether the run is a write
-    cores: np.ndarray  #: int16, simulated core issuing the run
+    cores: np.ndarray  #: int64, simulated core issuing the run
 
     @property
     def total_accesses(self) -> int:
@@ -81,12 +81,19 @@ class MemoryTrace:
         """Kernel-ready contiguous views: int64 blocks/counts/cores, uint8 writes.
 
         No copy is made when the stored arrays already have the target
-        dtype and layout (the :class:`TraceBuilder` output does).
+        dtype and layout (the :class:`TraceBuilder` output does): bool
+        write flags are byte-sized, so they are exported as a ``uint8``
+        *view* of the same buffer.
         """
+        writes = self.writes
+        if writes.dtype == np.bool_ and writes.flags.c_contiguous:
+            writes = writes.view(np.uint8)
+        else:
+            writes = np.ascontiguousarray(writes, dtype=np.uint8)
         return (
             np.ascontiguousarray(self.blocks, dtype=np.int64),
             np.ascontiguousarray(self.counts, dtype=np.int64),
-            np.ascontiguousarray(self.writes, dtype=np.uint8),
+            writes,
             np.ascontiguousarray(self.cores, dtype=np.int64),
         )
 
@@ -140,22 +147,51 @@ class TraceBuilder:
         self._blocks.append(region.block_of(indices))
         self._keys.append(keys)
         self._writes.append(np.broadcast_to(np.asarray(write, dtype=bool), indices.shape))
-        self._cores.append(np.broadcast_to(np.asarray(core, dtype=np.int16), indices.shape))
+        self._cores.append(np.broadcast_to(np.asarray(core, dtype=np.int64), indices.shape))
 
-    def build(self) -> MemoryTrace:
-        """Merge all streams by time key and run-length compress."""
+    def build(self, engine: str | None = None) -> MemoryTrace:
+        """Merge all streams by time key and run-length compress.
+
+        ``engine`` selects the merge implementation (``auto``/``fast``/
+        ``reference``, default from ``REPRO_TRACE_ENGINE``); both produce
+        bit-identical traces.
+        """
+        import time
+
+        from repro.framework import fasttrace
+
         if not self._blocks:
             empty = np.empty(0, dtype=np.int64)
             return MemoryTrace(
                 empty,
                 np.empty(0, dtype=np.int64),
                 np.empty(0, dtype=bool),
-                np.empty(0, dtype=np.int16),
+                np.empty(0, dtype=np.int64),
             )
         blocks = np.concatenate(self._blocks)
         keys = np.concatenate(self._keys)
         writes = np.concatenate(self._writes)
         cores = np.concatenate(self._cores)
+
+        start_time = time.perf_counter()
+        used = "reference"
+        try:
+            if fasttrace.use_fast(engine):
+                used = "fast"
+                trace = MemoryTrace(
+                    *fasttrace.trace_build_fast(blocks, keys, writes, cores)
+                )
+                fasttrace.BUILD_STATS.record(
+                    used,
+                    runs=len(trace),
+                    accesses=int(blocks.size),
+                    seconds=time.perf_counter() - start_time,
+                )
+                return trace
+        except fasttrace.KernelUnavailable:
+            if fasttrace.resolve_trace_engine(engine) == "fast":
+                raise
+
         order = np.argsort(keys, kind="stable")
         blocks, writes, cores = blocks[order], writes[order], cores[order]
 
@@ -173,9 +209,16 @@ class TraceBuilder:
             )
             boundaries = np.flatnonzero(change)
         counts = np.diff(np.append(boundaries, blocks.size))
-        return MemoryTrace(
+        trace = MemoryTrace(
             blocks[boundaries], counts.astype(np.int64), writes[boundaries], cores[boundaries]
         )
+        fasttrace.BUILD_STATS.record(
+            used,
+            runs=len(trace),
+            accesses=int(order.size),
+            seconds=time.perf_counter() - start_time,
+        )
+        return trace
 
 
 @dataclass

@@ -87,6 +87,23 @@ class ReorderingTechnique:
         """Return the permutation ``mapping[old_id] = new_id``."""
         raise NotImplementedError
 
+    def cache_token(self) -> tuple:
+        """Stable identity for disk-cache keys: class name + parameters.
+
+        Two instances that can produce different mappings must have
+        different tokens — the token folds in every scalar attribute
+        (``degree_kind``, window sizes, thresholds, ...), so e.g.
+        ``Gorder('in')`` and ``Gorder('out')`` never share a cache slot.
+        """
+        params = tuple(
+            sorted(
+                (k, v)
+                for k, v in vars(self).items()
+                if isinstance(v, (bool, int, float, str, type(None)))
+            )
+        )
+        return (type(self).__name__, params)
+
     def apply(self, graph: Graph) -> ReorderResult:
         """Compute the mapping and rebuild the graph, timing both phases."""
         t0 = time.perf_counter()

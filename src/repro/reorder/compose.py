@@ -27,6 +27,9 @@ class Composed(ReorderingTechnique):
         self.name = "+".join(t.name for t in self.techniques)
         self.skew_aware = all(t.skew_aware for t in self.techniques)
 
+    def cache_token(self) -> tuple:
+        return (type(self).__name__, tuple(t.cache_token() for t in self.techniques))
+
     def compute_mapping(self, graph: Graph) -> np.ndarray:
         combined = np.arange(graph.num_vertices, dtype=np.int64)
         current = graph

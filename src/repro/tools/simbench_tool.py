@@ -1,22 +1,34 @@
-"""``repro-simbench`` — measure cache-simulation engine throughput.
+"""``repro-simbench`` — measure compiled-engine throughput.
 
-Builds a reproducible graph-workload-shaped trace (zipf-popular property
-blocks with streaming vertex/edge runs, multi-core, mixed reads/writes),
-runs it through the selected engines and prints accesses/second plus the
-fast-over-reference speedup.  ``--json`` archives the numbers in the
-``BENCH_cachesim.json`` format the benchmark harness also emits.
+Three benchmark families, selectable with ``--bench``:
+
+* ``sim`` — cache-simulation engines on a reproducible graph-shaped
+  trace (zipf-popular property blocks with streaming vertex/edge runs,
+  multi-core, mixed reads/writes);
+* ``trace`` — trace construction (stable keyed merge + run-length
+  compression) kernel vs the numpy ``argsort`` reference, on both a
+  shuffled quarter-lattice workload (counting-sort kernel path) and a
+  builder-shaped interleaved workload (run-merge kernel path);
+* ``gorder`` — the compiled Gorder placement loop vs the Python heap
+  loop on an R-MAT graph.
+
+Every timed pair is asserted bit-identical before speedups are printed.
+``--json`` archives the numbers in the ``BENCH_cachesim.json`` format
+the benchmark harness also emits.
 
 Examples::
 
     repro-simbench --runs 500000
     repro-simbench --policy lip --engines fast
-    repro-simbench --json BENCH_cachesim.json
+    repro-simbench --bench trace --trace-runs 262144
+    repro-simbench --bench all --json BENCH_cachesim.json
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 
@@ -28,9 +40,18 @@ from repro.cachesim import (
     fast_available,
     simulate_trace,
 )
+from repro.framework import fasttrace
 from repro.framework.trace import MemoryTrace
 
-__all__ = ["main", "make_microbench_trace", "time_engines"]
+__all__ = [
+    "main",
+    "make_microbench_trace",
+    "make_trace_build_streams",
+    "reference_trace_build",
+    "time_engines",
+    "time_trace_build",
+    "time_gorder",
+]
 
 
 def make_microbench_trace(runs: int, seed: int = 0, write_fraction: float = 0.05,
@@ -53,8 +74,176 @@ def make_microbench_trace(runs: int, seed: int = 0, write_fraction: float = 0.05
     counts = np.ones(runs, dtype=np.int64)
     counts[stream_positions] = 8
     writes = rng.random(runs) < write_fraction
-    cores = rng.integers(0, num_cores, size=runs).astype(np.int16)
+    cores = rng.integers(0, num_cores, size=runs, dtype=np.int64)
     return MemoryTrace(blocks, counts, writes, cores)
+
+
+def make_trace_build_streams(
+    n: int, seed: int = 0, kind: str = "shuffled", num_cores: int = 40
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Concatenated keyed streams for benchmarking the trace-build merge.
+
+    ``kind`` selects which kernel path the workload exercises:
+
+    * ``shuffled`` — quarter-lattice time keys in random order (no long
+      sorted runs), the counting-sort path;
+    * ``interleaved`` — builder-shaped streams: per-core ascending runs
+      with interleave-quantum jumps, plus edge/weight streams at the
+      same keys minus fractional offsets, the run-merge path.
+    """
+    rng = np.random.default_rng(seed)
+    if kind == "shuffled":
+        # Heavy key ties (16 entries per distinct key on average) both
+        # exercise the kernel's stable tie-breaking and keep the
+        # counting-sort histogram cache-resident, as it is for real
+        # per-cell stream sizes.
+        keys = rng.integers(0, max(1, n // 16), size=n).astype(np.float64)
+        keys += rng.choice(np.array([-0.5, 0.0, 0.25]), size=n)
+        blocks = rng.integers(0, 1 << 18, size=n, dtype=np.int64)
+        cores = rng.integers(0, num_cores, size=n, dtype=np.int64)
+    elif kind == "interleaved":
+        # Mirror GraphApp streams: the edge array is touched at key-0.5
+        # just before the property access it feeds at key; keys are the
+        # global edge index plus interleave-quantum jumps per core
+        # segment, so only a handful of runs are active at any key (the
+        # structure the run-merge kernel path is built for).
+        m = n // 2
+        edge_id = np.arange(m, dtype=np.int64)
+        chunk = max(1, -(-m // num_cores))
+        core = edge_id // chunk
+        local = edge_id - core * chunk
+        base = edge_id.astype(np.float64) + (local // 128) * (2.0 * m)
+        keys = np.concatenate([base - 0.5, base])
+        blocks = np.concatenate(
+            [
+                edge_id // 8,  # streamed edge blocks
+                (1 << 20) + rng.integers(0, 4096, size=m),  # property
+            ]
+        ).astype(np.int64)
+        cores = np.concatenate([core, core]).astype(np.int64)
+        n = 2 * m
+    else:
+        raise ValueError(f"unknown trace-build workload kind {kind!r}")
+    writes = rng.random(n) < 0.3
+    return blocks, keys, writes, cores
+
+
+def reference_trace_build(
+    blocks: np.ndarray,
+    keys: np.ndarray,
+    writes: np.ndarray,
+    cores: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The numpy reference merge + RLE (same code path as TraceBuilder)."""
+    order = np.argsort(keys, kind="stable")
+    blocks, writes, cores = blocks[order], writes[order], cores[order]
+    change = np.empty(blocks.size, dtype=bool)
+    change[0] = True
+    change[1:] = (
+        (blocks[1:] != blocks[:-1])
+        | (writes[1:] != writes[:-1])
+        | (cores[1:] != cores[:-1])
+    )
+    boundaries = np.flatnonzero(change)
+    counts = np.diff(np.append(boundaries, blocks.size))
+    return blocks[boundaries], counts.astype(np.int64), writes[boundaries], cores[boundaries]
+
+
+def time_trace_build(
+    n: int = 262_144, seed: int = 0, kind: str = "shuffled", repeats: int = 5
+) -> dict:
+    """Best-of-``repeats`` trace-build time, kernel vs numpy reference.
+
+    Asserts the two engines produce byte-identical compressed traces.
+    """
+    blocks, keys, writes, cores = make_trace_build_streams(n, seed=seed, kind=kind)
+    best_ref = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        ref = reference_trace_build(blocks, keys, writes, cores)
+        best_ref = min(best_ref, time.perf_counter() - start)
+    results: dict = {
+        "workload": kind,
+        "n": int(keys.size),
+        "runs": int(ref[0].size),
+        "engines": {
+            "reference": {"seconds": best_ref, "keys_per_second": keys.size / best_ref}
+        },
+    }
+    if fasttrace.fast_available():
+        best_fast = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fast = fasttrace.trace_build_fast(blocks, keys, writes, cores)
+            best_fast = min(best_fast, time.perf_counter() - start)
+        for r, f in zip(ref, fast):
+            if r.tobytes() != np.ascontiguousarray(f, dtype=r.dtype).tobytes():
+                raise AssertionError("fast trace-build diverged from reference")
+        results["engines"]["fast"] = {
+            "seconds": best_fast,
+            "keys_per_second": keys.size / best_fast,
+        }
+        results["speedup_fast_over_reference"] = best_ref / best_fast
+    return results
+
+
+def time_gorder(
+    scale: int = 13, avg_degree: int = 16, window: int = 5, repeats: int = 3
+) -> dict:
+    """Best-of-``repeats`` Gorder placement time, kernel vs Python loop.
+
+    Asserts both engines compute the identical permutation.
+    """
+    from repro.graph.generators.rmat import rmat_graph
+    from repro.reorder.gorder import Gorder
+
+    graph = rmat_graph(scale, avg_degree=avg_degree, seed=1)
+    technique = Gorder(window=window)
+    saved = os.environ.get("REPRO_TRACE_ENGINE")
+    try:
+        os.environ["REPRO_TRACE_ENGINE"] = "reference"
+        best_ref = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            ref = technique.compute_mapping(graph)
+            best_ref = min(best_ref, time.perf_counter() - start)
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_TRACE_ENGINE", None)
+        else:
+            os.environ["REPRO_TRACE_ENGINE"] = saved
+    results: dict = {
+        "vertices": int(graph.num_vertices),
+        "edges": int(graph.num_edges),
+        "window": window,
+        "engines": {
+            "reference": {
+                "seconds": best_ref,
+                "vertices_per_second": graph.num_vertices / best_ref,
+            }
+        },
+    }
+    if fasttrace.fast_available():
+        try:
+            os.environ["REPRO_TRACE_ENGINE"] = "fast"
+            best_fast = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                fast = technique.compute_mapping(graph)
+                best_fast = min(best_fast, time.perf_counter() - start)
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_TRACE_ENGINE", None)
+            else:
+                os.environ["REPRO_TRACE_ENGINE"] = saved
+        if not np.array_equal(ref, fast):
+            raise AssertionError("fast Gorder mapping diverged from reference")
+        results["engines"]["fast"] = {
+            "seconds": best_fast,
+            "vertices_per_second": graph.num_vertices / best_fast,
+        }
+        results["speedup_fast_over_reference"] = best_ref / best_fast
+    return results
 
 
 def time_engines(
@@ -96,51 +285,96 @@ def time_engines(
     return results
 
 
+def _print_speedup(results: dict) -> None:
+    if "speedup_fast_over_reference" in results:
+        print(f"  speedup: {results['speedup_fast_over_reference']:.1f}x")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Benchmark the cache-simulation engines."
+        description="Benchmark the compiled engines (cachesim, trace build, Gorder)."
     )
+    parser.add_argument("--bench", choices=["sim", "trace", "gorder", "all"],
+                        default="sim", help="which benchmark family to run")
     parser.add_argument("--runs", type=int, default=500_000,
-                        help="compressed trace runs to simulate")
+                        help="compressed trace runs to simulate (sim bench)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--policy", choices=["lru", "fifo", "lip"], default="lru")
     parser.add_argument("--repeats", type=int, default=2,
                         help="timing repeats per engine (best is kept)")
     parser.add_argument("--engines", nargs="+", default=None,
                         choices=["reference", "fast"],
-                        help="engines to time (default: both when available)")
+                        help="sim engines to time (default: both when available)")
+    parser.add_argument("--trace-runs", type=int, default=262_144,
+                        help="stream entries for the trace-build bench")
+    parser.add_argument("--gorder-scale", type=int, default=13,
+                        help="R-MAT scale exponent for the Gorder bench")
     parser.add_argument("--json", type=str, default=None,
                         help="also write results as JSON to this path")
     args = parser.parse_args(argv)
 
-    engines = args.engines
-    if engines is None:
-        engines = ["reference"] + (["fast"] if fast_available() else [])
-    if "fast" in engines and not fast_available():
-        parser.error("fast engine unavailable (no C compiler?)")
-
-    config = HierarchyConfig(
-        l1=DEFAULT_HIERARCHY.l1,
-        l2=DEFAULT_HIERARCHY.l2,
-        l3=DEFAULT_HIERARCHY.l3,
-        replacement=args.policy,
-    )
-    trace = make_microbench_trace(args.runs, seed=args.seed)
-    print(
-        f"trace: {len(trace):,} runs / {trace.total_accesses:,} accesses, "
-        f"policy={args.policy}"
-    )
-    results = time_engines(trace, config, engines, repeats=args.repeats)
-    for engine, row in results["engines"].items():
-        print(
-            f"{engine:>9s}: {row['seconds']:8.3f}s  "
-            f"{row['accesses_per_second'] / 1e6:8.2f} M accesses/s"
+    output: dict = {}
+    if args.bench in ("sim", "all"):
+        engines = args.engines
+        if engines is None:
+            engines = ["reference"] + (["fast"] if fast_available() else [])
+        if "fast" in engines and not fast_available():
+            parser.error("fast engine unavailable (no C compiler?)")
+        config = HierarchyConfig(
+            l1=DEFAULT_HIERARCHY.l1,
+            l2=DEFAULT_HIERARCHY.l2,
+            l3=DEFAULT_HIERARCHY.l3,
+            replacement=args.policy,
         )
-    if "speedup_fast_over_reference" in results:
-        print(f"  speedup: {results['speedup_fast_over_reference']:.1f}x")
+        trace = make_microbench_trace(args.runs, seed=args.seed)
+        print(
+            f"sim trace: {len(trace):,} runs / {trace.total_accesses:,} accesses, "
+            f"policy={args.policy}"
+        )
+        results = time_engines(trace, config, engines, repeats=args.repeats)
+        for engine, row in results["engines"].items():
+            print(
+                f"{engine:>9s}: {row['seconds']:8.3f}s  "
+                f"{row['accesses_per_second'] / 1e6:8.2f} M accesses/s"
+            )
+        _print_speedup(results)
+        output["engines"] = results
+
+    if args.bench in ("trace", "all"):
+        for kind in ("shuffled", "interleaved"):
+            results = time_trace_build(
+                args.trace_runs, seed=args.seed, kind=kind,
+                repeats=max(args.repeats, 3),
+            )
+            print(
+                f"trace build [{kind}]: {results['n']:,} entries -> "
+                f"{results['runs']:,} runs"
+            )
+            for engine, row in results["engines"].items():
+                print(
+                    f"{engine:>9s}: {row['seconds'] * 1e3:8.1f}ms  "
+                    f"{row['keys_per_second'] / 1e6:8.2f} M keys/s"
+                )
+            _print_speedup(results)
+            output[f"trace_build_{kind}"] = results
+
+    if args.bench in ("gorder", "all"):
+        results = time_gorder(scale=args.gorder_scale, repeats=max(args.repeats, 3))
+        print(
+            f"gorder: {results['vertices']:,} vertices / "
+            f"{results['edges']:,} edges, window={results['window']}"
+        )
+        for engine, row in results["engines"].items():
+            print(
+                f"{engine:>9s}: {row['seconds'] * 1e3:8.1f}ms  "
+                f"{row['vertices_per_second'] / 1e6:8.2f} M vertices/s"
+            )
+        _print_speedup(results)
+        output["gorder"] = results
+
     if args.json:
         with open(args.json, "w") as handle:
-            json.dump(results, handle, indent=2, sort_keys=True)
+            json.dump(output, handle, indent=2, sort_keys=True)
         print(f"wrote {args.json}")
     return 0
 

@@ -150,3 +150,129 @@ class TestDegreeKindOverride:
     def test_threshold_label(self, runner):
         cell = runner.cell("PR", "lj", "DBG-t2.0")
         assert cell.reorder_cycles > 0
+
+
+class TestCacheKeyRegressions:
+    """Disk keys must reflect everything a cached value depends on."""
+
+    def test_composed_degree_kinds_do_not_collide(self, runner, tmp_path):
+        """Regression: the old mapping key omitted the degree kind, so the
+        disk-memoized Gorder+DBG@in and Gorder+DBG@out variants shared
+        (and corrupted) one cache slot."""
+        out_mapping = runner.mapping("lj", "Gorder+DBG@out", "out")
+        # A fresh runner on the same cache must not be served the @out
+        # mapping for the @in variant.
+        replay = ExperimentRunner(runner.config, cache=DiskCache(tmp_path))
+        in_mapping = replay.mapping("lj", "Gorder+DBG@in", "in")
+        expected = replay._make("Gorder+DBG", "in").compute_mapping(
+            replay.graph("lj")
+        )
+        assert np.array_equal(in_mapping, expected)
+        assert not np.array_equal(in_mapping, out_mapping)
+
+    def test_gorder_window_variants_do_not_collide(self, runner, tmp_path):
+        from repro.reorder.gorder import Gorder
+
+        runner.mapping("lj", "Gorder-w2", "out")
+        replay = ExperimentRunner(runner.config, cache=DiskCache(tmp_path))
+        w8 = replay.mapping("lj", "Gorder-w8", "out")
+        expected = Gorder("out", window=8).compute_mapping(replay.graph("lj"))
+        assert np.array_equal(w8, expected)
+
+    def test_cache_token_identity(self):
+        from repro.reorder import Composed, Gorder, make_technique
+
+        assert Gorder("in").cache_token() != Gorder("out").cache_token()
+        assert Gorder(window=2).cache_token() != Gorder(window=8).cache_token()
+        assert Gorder("out").cache_token() == Gorder("out").cache_token()
+        composed = Composed([Gorder("out"), make_technique("DBG", "out")])
+        assert composed.cache_token() != Gorder("out").cache_token()
+        assert "Gorder" in repr(composed.cache_token())
+
+    def test_latency_model_changes_cache_key(self):
+        from repro.perfmodel.timing import LatencyModel
+
+        base = ExperimentConfig()
+        tweaked = ExperimentConfig(latencies=LatencyModel(memory=400.0))
+        assert base.cache_key() != tweaked.cache_key()
+
+    def test_cost_model_changes_cache_key(self):
+        from repro.perfmodel.cost import ReorderCostModel
+
+        base = ExperimentConfig()
+        tweaked = ExperimentConfig(
+            cost_model=ReorderCostModel(gorder_per_update=1.0)
+        )
+        assert base.cache_key() != tweaked.cache_key()
+
+    def test_hierarchy_topology_changes_cache_key(self):
+        from dataclasses import replace
+
+        base = ExperimentConfig()
+        tweaked = ExperimentConfig(
+            hierarchy=replace(base.hierarchy, ownership_blocks=128)
+        )
+        assert base.cache_key() != tweaked.cache_key()
+
+    def test_engine_knob_does_not_change_cache_key(self):
+        """Engines are bit-identical, so switching them must hit."""
+        from dataclasses import replace
+
+        base = ExperimentConfig()
+        ref = ExperimentConfig(hierarchy=replace(base.hierarchy, engine="reference"))
+        assert base.cache_key() == ref.cache_key()
+
+
+class TestTraceMemoization:
+    def test_trace_reused_across_runners(self, runner, tmp_path):
+        from repro.analysis.profiler import PROFILER
+
+        first = runner.cell("PR", "lj", "DBG")
+        replay = ExperimentRunner(runner.config, cache=DiskCache(tmp_path))
+        PROFILER.reset()
+        # Forget the cell result but keep the trace: the replayed cell must
+        # rebuild from the memoized AppTrace (a 'trace' cache hit).
+        from repro.analysis.diskcache import CACHE_VERSION  # noqa: F401
+        key = ("cell", replay.config.cache_key(), "PR", "lj", "DBG")
+        replay.cache._path(key).unlink()
+        second = replay.cell("PR", "lj", "DBG")
+        assert first == second
+        snap = PROFILER.snapshot()
+        assert snap["trace"].cache_hits >= 1
+        assert snap["trace"].calls == 0
+
+    def test_trace_key_distinguishes_roots(self, runner):
+        from repro.apps import make_app
+
+        app = make_app("SSSP")
+        roots = runner.roots("lj")
+        if len(roots) < 2:
+            roots = roots + [roots[0] + 1]
+        t0 = runner.app_trace(app, "SSSP", "lj", "DBG", "in", roots[0])
+        t1 = runner.app_trace(app, "SSSP", "lj", "DBG", "in", roots[1])
+        assert t0.trace.total_accesses != t1.trace.total_accesses or (
+            t0.trace.blocks.tobytes() != t1.trace.blocks.tobytes()
+        )
+
+
+class TestGridProfiler:
+    def test_serial_grid_records_stages(self, runner):
+        from repro.analysis.profiler import PROFILER
+
+        PROFILER.reset()
+        runner.run_grid(["PR"], ["lj"], ["Original", "DBG"])
+        snap = PROFILER.snapshot()
+        for stage in ("generate", "trace", "simulate", "model"):
+            assert stage in snap, stage
+        assert "trace" in PROFILER.format_snapshot()
+
+    def test_parallel_grid_merges_worker_deltas(self, tmp_path):
+        from repro.analysis.profiler import PROFILER
+
+        config = ExperimentConfig(scale=0.2, num_roots=1)
+        runner = ExperimentRunner(config, cache=DiskCache(tmp_path / "p"))
+        PROFILER.reset()
+        runner.run_grid(["PR"], ["lj"], ["Original", "DBG"], workers=2)
+        snap = PROFILER.snapshot()
+        assert snap["simulate"].calls >= 2
+        assert snap["trace"].calls + snap["trace"].cache_hits >= 2

@@ -43,7 +43,7 @@ class TestGather:
     def test_pull_gathers_in_edges(self):
         g = from_edges(4, np.array([(0, 2), (1, 2), (3, 2)]))
         app = PageRank()
-        ids, lengths, positions, srcs = app._gather(g, np.array([2]), "pull")
+        ids, lengths, positions, srcs, dsts = app._gather(g, np.array([2]), "pull")
         assert ids.tolist() == [2]
         assert lengths.tolist() == [3]
         assert sorted(srcs.tolist()) == [0, 1, 3]
@@ -51,20 +51,20 @@ class TestGather:
     def test_push_gathers_out_edges(self):
         g = from_edges(4, np.array([(2, 0), (2, 1), (2, 3)]))
         app = PageRank()
-        ids, lengths, positions, dsts = app._gather(g, np.array([2]), "push")
+        ids, lengths, positions, dsts, srcs = app._gather(g, np.array([2]), "push")
         assert sorted(dsts.tolist()) == [0, 1, 3]
 
     def test_active_none_means_all(self):
         g = make_random_graph(num_vertices=20, num_edges=80, seed=9)
         app = PageRank()
-        ids, lengths, positions, srcs = app._gather(g, None, "pull")
+        ids, lengths, positions, srcs, dsts = app._gather(g, None, "pull")
         assert ids.size == 20
         assert positions.size == g.num_edges
 
     def test_empty_active(self):
         g = make_random_graph(num_vertices=20, num_edges=80, seed=9)
         app = PageRank()
-        ids, lengths, positions, srcs = app._gather(
+        ids, lengths, positions, srcs, dsts = app._gather(
             g, np.empty(0, dtype=np.int64), "pull"
         )
         assert positions.size == 0

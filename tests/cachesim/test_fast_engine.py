@@ -166,14 +166,14 @@ class TestDispatch:
     def test_fast_engine_errors_when_unavailable(self, monkeypatch):
         from repro.cachesim import fast
 
-        monkeypatch.setattr(fast, "_kernel", KernelUnavailable("forced off"))
+        monkeypatch.setattr(fast._KERNEL, "_state", KernelUnavailable("forced off"))
         with pytest.raises(KernelUnavailable):
             simulate_trace(make_trace([1, 2]), engine="fast")
 
     def test_auto_falls_back_when_unavailable(self, monkeypatch):
         from repro.cachesim import fast
 
-        monkeypatch.setattr(fast, "_kernel", KernelUnavailable("forced off"))
+        monkeypatch.setattr(fast._KERNEL, "_state", KernelUnavailable("forced off"))
         simstats.reset()
         stats = simulate_trace(make_trace([1, 2]), engine="auto")
         assert stats.accesses == 2

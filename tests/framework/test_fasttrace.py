@@ -1,0 +1,241 @@
+"""Trace-kernel equivalence and dispatch tests.
+
+The compiled gather and trace-build kernels must be *bit-identical* to
+their numpy references on any input — the contract that lets every trace
+producer switch engines transparently (mirroring the cache simulator's
+equivalence suite in ``tests/cachesim/test_fast_engine.py``).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.framework import fasttrace
+from repro.framework.fasttrace import (
+    KernelUnavailable,
+    fast_available,
+    ragged_gather,
+    resolve_trace_engine,
+    trace_build_fast,
+)
+from repro.framework.trace import AddressSpace, TraceBuilder
+
+needs_kernel = pytest.mark.skipif(
+    not fast_available(), reason="no C compiler for the trace kernels"
+)
+
+
+@st.composite
+def csr_and_ids(draw):
+    n = draw(st.integers(min_value=1, max_value=60))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    degrees = rng.integers(0, 9, size=n)
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(degrees, out=offsets[1:])
+    endpoints = rng.integers(0, n, size=int(offsets[-1])).astype(np.int32)
+    num_ids = draw(st.integers(min_value=0, max_value=n))
+    ids = rng.permutation(n)[:num_ids].astype(np.int64)
+    return offsets, endpoints, ids
+
+
+@st.composite
+def keyed_streams(draw):
+    """Concatenated keyed streams with heavy key/field duplication."""
+    n = draw(st.integers(min_value=0, max_value=800))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    distinct_keys = draw(st.integers(min_value=1, max_value=6))
+    rng = np.random.default_rng(seed)
+    blocks = rng.integers(0, 8, size=n).astype(np.int64)
+    key_pool = np.concatenate(
+        [
+            rng.uniform(-1e6, 1e6, size=distinct_keys),
+            np.array([0.0, -0.0, 1e300, -1e300]),
+        ]
+    )
+    keys = rng.choice(key_pool, size=n)
+    writes = rng.random(n) < draw(st.floats(min_value=0, max_value=1))
+    cores = rng.integers(0, 4, size=n).astype(np.int64)
+    return blocks, keys, writes, cores
+
+
+def reference_build(blocks, keys, writes, cores):
+    """The numpy merge + RLE exactly as TraceBuilder's reference path."""
+    order = np.argsort(keys, kind="stable")
+    blocks, writes, cores = blocks[order], writes[order], cores[order]
+    if blocks.size == 0:
+        boundaries = np.empty(0, dtype=np.int64)
+    else:
+        change = np.empty(blocks.size, dtype=bool)
+        change[0] = True
+        change[1:] = (
+            (blocks[1:] != blocks[:-1])
+            | (writes[1:] != writes[:-1])
+            | (cores[1:] != cores[:-1])
+        )
+        boundaries = np.flatnonzero(change)
+    counts = np.diff(np.append(boundaries, blocks.size))
+    return blocks[boundaries], counts.astype(np.int64), writes[boundaries], cores[boundaries]
+
+
+@needs_kernel
+class TestGatherEquivalence:
+    @given(csr_and_ids())
+    @settings(max_examples=80, deadline=None)
+    def test_fast_matches_reference(self, data):
+        offsets, endpoints, ids = data
+        ref = fasttrace._ragged_gather_reference(offsets, endpoints, ids)
+        fast = fasttrace._ragged_gather_fast(offsets, endpoints, ids)
+        for name, a, b in zip(("lengths", "positions", "others", "repeats"), ref, fast):
+            assert a.dtype == b.dtype, name
+            assert np.array_equal(a, b), name
+
+    def test_empty_ids(self):
+        offsets = np.array([0, 2, 3], dtype=np.int64)
+        endpoints = np.array([1, 0, 0], dtype=np.int32)
+        ids = np.empty(0, dtype=np.int64)
+        for arr in ragged_gather(offsets, endpoints, ids, engine="fast"):
+            assert arr.size == 0
+
+
+@needs_kernel
+class TestTraceBuildEquivalence:
+    @given(keyed_streams())
+    @settings(max_examples=80, deadline=None)
+    def test_kernel_matches_reference(self, data):
+        blocks, keys, writes, cores = data
+        ref = reference_build(blocks, keys, writes, cores)
+        fast = trace_build_fast(blocks, keys, writes, cores)
+        for name, a, b in zip(("blocks", "counts", "writes", "cores"), ref, fast):
+            assert a.dtype == b.dtype, name
+            assert np.array_equal(a, b), name
+
+    @given(st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=30, deadline=None)
+    def test_builder_traces_byte_identical(self, seed):
+        """TraceBuilder.build(fast) == build(reference), byte for byte."""
+        rng = np.random.default_rng(seed)
+        space = AddressSpace()
+        regions = [space.region(f"r{i}", 256, 8) for i in range(3)]
+
+        def make_builder():
+            builder = TraceBuilder()
+            for i, region in enumerate(regions):
+                m = int(rng2.integers(0, 300))
+                builder.add(
+                    region,
+                    rng2.integers(0, 256, size=m),
+                    rng2.integers(0, 50, size=m) + 0.25 * i,
+                    write=(rng2.random(m) < 0.3),
+                    core=rng2.integers(0, 4, size=m),
+                )
+            return builder
+
+        rng2 = np.random.default_rng(seed)
+        fast = make_builder().build(engine="fast")
+        rng2 = np.random.default_rng(seed)
+        ref = make_builder().build(engine="reference")
+        assert fast.blocks.tobytes() == ref.blocks.tobytes()
+        assert fast.counts.tobytes() == ref.counts.tobytes()
+        assert fast.writes.tobytes() == ref.writes.tobytes()
+        assert fast.cores.tobytes() == ref.cores.tobytes()
+        assert fast.cores.dtype == ref.cores.dtype == np.int64
+
+
+class TestDispatch:
+    def test_resolve_precedence(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_ENGINE", raising=False)
+        assert resolve_trace_engine(None) == "auto"
+        monkeypatch.setenv("REPRO_TRACE_ENGINE", "reference")
+        assert resolve_trace_engine(None) == "reference"
+        assert resolve_trace_engine("fast") == "fast"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_trace_engine("vectorized")
+
+    def test_fast_errors_when_unavailable(self, monkeypatch):
+        monkeypatch.setattr(
+            fasttrace._KERNEL, "_state", KernelUnavailable("forced off")
+        )
+        with pytest.raises(KernelUnavailable):
+            ragged_gather(
+                np.array([0, 1], dtype=np.int64),
+                np.array([0], dtype=np.int32),
+                np.array([0], dtype=np.int64),
+                engine="fast",
+            )
+
+    def test_auto_falls_back_when_unavailable(self, monkeypatch):
+        monkeypatch.setattr(
+            fasttrace._KERNEL, "_state", KernelUnavailable("forced off")
+        )
+        lengths, positions, others, repeats = ragged_gather(
+            np.array([0, 2], dtype=np.int64),
+            np.array([7, 9], dtype=np.int32),
+            np.array([0], dtype=np.int64),
+            engine="auto",
+        )
+        assert others.tolist() == [7, 9]
+        assert repeats.tolist() == [0, 0]
+
+    def test_builder_falls_back_when_unavailable(self, monkeypatch):
+        monkeypatch.setattr(
+            fasttrace._KERNEL, "_state", KernelUnavailable("forced off")
+        )
+        space = AddressSpace()
+        region = space.region("x", 64, 8)
+        builder = TraceBuilder()
+        builder.add(region, np.arange(10), np.arange(10, dtype=float))
+        trace = builder.build(engine="auto")
+        assert trace.total_accesses == 10
+
+    def test_build_stats_recorded(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_ENGINE", "reference")
+        fasttrace.BUILD_STATS.reset()
+        space = AddressSpace()
+        region = space.region("x", 64, 8)
+        builder = TraceBuilder()
+        builder.add(region, np.arange(10), np.arange(10, dtype=float))
+        builder.build()
+        snap = fasttrace.BUILD_STATS.snapshot()
+        assert list(snap) == ["reference"]
+        assert snap["reference"].accesses == 10
+        fasttrace.BUILD_STATS.reset()
+
+
+class TestPackedZeroCopy:
+    def test_builder_output_packs_without_copies(self):
+        space = AddressSpace()
+        region = space.region("x", 4096, 8)
+        builder = TraceBuilder()
+        rng = np.random.default_rng(5)
+        builder.add(
+            region,
+            rng.integers(0, 4096, size=500),
+            np.arange(500, dtype=float),
+            write=(rng.random(500) < 0.5),
+            core=rng.integers(0, 4, size=500),
+        )
+        trace = builder.build()
+        blocks, counts, writes, cores = trace.packed()
+        assert np.shares_memory(blocks, trace.blocks)
+        assert np.shares_memory(counts, trace.counts)
+        assert np.shares_memory(writes, trace.writes)
+        assert np.shares_memory(cores, trace.cores)
+        assert writes.dtype == np.uint8
+        assert cores.dtype == np.int64
+
+    def test_alien_dtypes_still_convert(self):
+        from repro.framework.trace import MemoryTrace
+
+        trace = MemoryTrace(
+            np.array([1, 2], dtype=np.int32),
+            np.array([1, 1], dtype=np.int32),
+            np.array([0, 1], dtype=np.int8),
+            np.array([0, 0], dtype=np.int16),
+        )
+        blocks, counts, writes, cores = trace.packed()
+        assert blocks.dtype == counts.dtype == cores.dtype == np.int64
+        assert writes.dtype == np.uint8

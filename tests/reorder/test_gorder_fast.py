@@ -1,0 +1,85 @@
+"""Gorder compiled-kernel equivalence: identical permutations.
+
+The C placement loop must reproduce the Python heap loop's permutation
+*exactly* — ties, stale-requeue order, heap-dry refills and hub cut-offs
+included — so cached mappings and downstream cell results are engine
+independent.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.framework import fasttrace
+from repro.graph import from_edges
+from repro.reorder.gorder import Gorder
+
+needs_kernel = pytest.mark.skipif(
+    not fasttrace.fast_available(), reason="no C compiler for the trace kernels"
+)
+
+
+def python_mapping(technique: Gorder, graph) -> np.ndarray:
+    """Force the pure-Python loop regardless of kernel availability."""
+    state = fasttrace._KERNEL._state
+    fasttrace._KERNEL._state = fasttrace.KernelUnavailable("forced off")
+    try:
+        return technique.compute_mapping(graph)
+    finally:
+        fasttrace._KERNEL._state = state
+
+
+def random_graph(n, m, seed):
+    rng = np.random.default_rng(seed)
+    edges = np.stack(
+        [rng.integers(0, n, size=m), rng.integers(0, n, size=m)], axis=1
+    )
+    return from_edges(n, edges)
+
+
+@needs_kernel
+class TestGorderKernelEquivalence:
+    @given(
+        st.integers(min_value=1, max_value=90),
+        st.integers(min_value=0, max_value=400),
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=7),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_graphs_identical(self, n, m, seed, window):
+        graph = random_graph(n, m, seed)
+        technique = Gorder(window=window)
+        assert np.array_equal(
+            technique.compute_mapping(graph), python_mapping(technique, graph)
+        )
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=10, deadline=None)
+    def test_hub_heavy_graphs_identical(self, seed):
+        """Hubs past the cap exercise the sibling cut-off path."""
+        rng = np.random.default_rng(seed)
+        n = 250
+        hubs = rng.integers(0, n, size=2)
+        src = np.concatenate(
+            [rng.integers(0, n, size=3 * n)] + [np.full(n - 1, h) for h in hubs]
+        )
+        dst = rng.integers(0, n, size=src.size)
+        graph = from_edges(n, np.stack([src, dst], axis=1))
+        technique = Gorder(window=4)
+        assert np.array_equal(
+            technique.compute_mapping(graph), python_mapping(technique, graph)
+        )
+
+    def test_engine_env_forces_python_loop(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_ENGINE", "reference")
+        graph = random_graph(40, 160, seed=1)
+        technique = Gorder(window=3)
+        forced = technique.compute_mapping(graph)
+        monkeypatch.delenv("REPRO_TRACE_ENGINE")
+        assert np.array_equal(forced, technique.compute_mapping(graph))
+
+    def test_mapping_is_permutation(self):
+        graph = random_graph(64, 300, seed=2)
+        mapping = Gorder(window=5).compute_mapping(graph)
+        assert sorted(mapping.tolist()) == list(range(64))
