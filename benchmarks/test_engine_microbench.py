@@ -11,9 +11,13 @@ Measurements:
   recorded ungated (its run-merge kernel path wins ~2x);
 * **gorder** — the compiled Gorder placement loop vs the Python heap
   loop on an R-MAT graph (>=5x acceptance gate);
-* **grid_stages** — per-stage profiler breakdown of the demo grid under
-  both engines; asserts trace construction no longer dominates cell
-  time with the fast engines;
+* **relabel** / **csr_build** — the O(E) graph-structure kernels vs the
+  dual-argsort numpy references on a dataset analog (>=5x acceptance
+  gates each, bit-identical dual CSRs asserted inside the timers);
+* **grid_stages** — per-stage profiler breakdown of the demo grid with
+  every engine forced reference vs forced fast; asserts the fast engines
+  beat reference overall and that the relabel share sits below both the
+  trace and simulate shares;
 * **grid_runner** — cells/second for ``ExperimentRunner.run_grid`` serial
   vs process-parallel against cold disk caches (recorded, not asserted:
   the win depends on available cores, which the JSON also records).
@@ -31,10 +35,13 @@ from repro.analysis.experiments import ExperimentConfig, ExperimentRunner
 from repro.analysis.profiler import PROFILER
 from repro.cachesim import DEFAULT_HIERARCHY, fast_available
 from repro.framework import fasttrace
+from repro.graph import fastgraph
 from repro.tools.simbench_tool import (
     make_microbench_trace,
+    time_csr_build,
     time_engines,
     time_gorder,
+    time_relabel,
     time_trace_build,
 )
 
@@ -46,12 +53,17 @@ TARGET_SPEEDUP = 10.0
 TRACE_TARGET_SPEEDUP = 5.0
 #: Acceptance target: Gorder kernel vs the Python heap loop.
 GORDER_TARGET_SPEEDUP = 5.0
+#: Acceptance target: graph relabel/build kernels vs the numpy argsorts.
+GRAPH_TARGET_SPEEDUP = 5.0
 
 GRID = (["PR", "PRD"], ["lj"], ["Original", "DBG"])
 GRID_CELLS = len(GRID[0]) * len(GRID[1]) * len(GRID[2])
 
 needs_trace_kernel = pytest.mark.skipif(
     not fasttrace.fast_available(), reason="no C compiler for the trace kernels"
+)
+needs_graph_kernel = pytest.mark.skipif(
+    not fastgraph.fast_available(), reason="no C compiler for the graph kernels"
 )
 
 
@@ -132,17 +144,58 @@ def test_gorder_throughput_target():
     )
 
 
+@needs_graph_kernel
+def test_relabel_throughput_target():
+    results = time_relabel("sd", seed=0, repeats=5)
+    _store_bench("relabel", results)
+    speedup = results["speedup_fast_over_reference"]
+    print(
+        f"\nrelabel [sd] ({results['edges']:,} edges): "
+        f"reference {results['engines']['reference']['seconds'] * 1e3:.1f}ms, "
+        f"fast {results['engines']['fast']['seconds'] * 1e3:.1f}ms "
+        f"-> {speedup:.1f}x"
+    )
+    assert speedup >= GRAPH_TARGET_SPEEDUP, (
+        f"relabel kernel only {speedup:.1f}x over the numpy reference "
+        f"(target {GRAPH_TARGET_SPEEDUP}x)"
+    )
+
+
+@needs_graph_kernel
+def test_csr_build_throughput_target():
+    results = time_csr_build("sd", seed=0, repeats=5)
+    _store_bench("csr_build", results)
+    speedup = results["speedup_fast_over_reference"]
+    print(
+        f"\ncsr build [sd] ({results['edges']:,} edges): "
+        f"reference {results['engines']['reference']['seconds'] * 1e3:.1f}ms, "
+        f"fast {results['engines']['fast']['seconds'] * 1e3:.1f}ms "
+        f"-> {speedup:.1f}x"
+    )
+    assert speedup >= GRAPH_TARGET_SPEEDUP, (
+        f"CSR-build kernel only {speedup:.1f}x over the numpy reference "
+        f"(target {GRAPH_TARGET_SPEEDUP}x)"
+    )
+
+
 @needs_trace_kernel
+@needs_graph_kernel
 def test_grid_stage_profile(tmp_path, monkeypatch):
     """Per-stage breakdown of the demo grid under both engine settings.
 
-    PR 1 made simulation compiled-fast, which left trace construction as
-    the dominant stage; with the compiled trace kernels it must no
-    longer dominate (< 50% of staged time).
+    PR 1 made simulation compiled-fast (moving the bottleneck into trace
+    construction), PR 2 compiled the trace kernels (moving it into
+    relabel), and the graph kernels retire relabel in turn.  Each PR
+    shrinks the staged-time denominator, so absolute share thresholds on
+    the surviving stages go stale; the durable invariants are relative:
+    the fast engines must beat reference on total staged time, and the
+    relabel share must sit below both the trace and simulate shares.
     """
     payload = {}
     for engine in ("reference", "fast"):
+        monkeypatch.setenv("REPRO_SIM_ENGINE", engine)
         monkeypatch.setenv("REPRO_TRACE_ENGINE", engine)
+        monkeypatch.setenv("REPRO_GRAPH_ENGINE", engine)
         runner = ExperimentRunner(
             ExperimentConfig(scale=8.0), cache=DiskCache(tmp_path / engine)
         )
@@ -164,10 +217,22 @@ def test_grid_stage_profile(tmp_path, monkeypatch):
         }
         print(f"\n[{engine}]\n{PROFILER.format_snapshot()}")
     _store_bench("grid_stages", payload)
+    fast_total = payload["fast"]["staged_seconds"]
+    ref_total = payload["reference"]["staged_seconds"]
+    assert fast_total < ref_total, (
+        f"fast engines slower than reference on the demo grid "
+        f"({fast_total:.2f}s vs {ref_total:.2f}s staged)"
+    )
     trace_share = payload["fast"]["stages"]["trace"]["share"]
-    assert trace_share < 0.5, (
-        f"trace construction still dominates the fast-engine grid "
-        f"({trace_share:.0%} of staged time)"
+    relabel_share = payload["fast"]["stages"]["relabel"]["share"]
+    assert relabel_share < trace_share, (
+        f"relabel ({relabel_share:.0%}) still above trace "
+        f"({trace_share:.0%}) on the fast engines"
+    )
+    simulate_share = payload["fast"]["stages"]["simulate"]["share"]
+    assert relabel_share < simulate_share, (
+        f"relabel ({relabel_share:.0%}) still above simulate "
+        f"({simulate_share:.0%}) on the fast engines"
     )
 
 

@@ -24,6 +24,7 @@ from dataclasses import astuple, dataclass, field
 
 import numpy as np
 
+from repro.analysis import sharedgraph
 from repro.analysis.diskcache import DiskCache
 from repro.analysis.profiler import PROFILER, StageStats, diff_snapshots
 from repro.apps import make_app
@@ -216,9 +217,12 @@ class ExperimentRunner:
         return self._plans[key]
 
     # -- cells ---------------------------------------------------------------
+    def _cell_key(self, app_name: str, dataset: str, technique_name: str) -> tuple:
+        return ("cell", self.config.cache_key(), app_name, dataset, technique_name)
+
     def cell(self, app_name: str, dataset: str, technique_name: str) -> CellResult:
         """Memoized counters for one grid cell (see module docstring)."""
-        disk_key = ("cell", self.config.cache_key(), app_name, dataset, technique_name)
+        disk_key = self._cell_key(app_name, dataset, technique_name)
         cached = self.cache.get(disk_key)
         if cached is not None:
             return CellResult(**cached)
@@ -337,6 +341,7 @@ class ExperimentRunner:
         datasets: list[str],
         techniques: list[str],
         workers: int | None = None,
+        share_graphs: bool = True,
     ) -> list[CellResult]:
         """All cells of the (apps x datasets x techniques) cross-product.
 
@@ -347,23 +352,70 @@ class ExperimentRunner:
         shares this runner's disk cache (safe: writes are atomic and
         deterministic per key), so a parallel warm-up accelerates every
         later serial run against the same cache.
+
+        With ``share_graphs`` (the default), the parent builds each
+        dataset analog an *uncached* cell needs exactly once, exports the
+        immutable CSR arrays to POSIX shared memory, and the workers map
+        them as zero-copy read-only ``Graph`` views instead of each
+        regenerating the same graphs (see
+        :mod:`repro.analysis.sharedgraph`).  Any shared-memory failure
+        falls back to per-worker regeneration; results are identical
+        either way.
         """
         cells = list(itertools.product(apps, datasets, techniques))
         if workers is None or workers <= 1:
             return [self.cell(*spec) for spec in cells]
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_grid_worker_init,
-            initargs=(self.config, str(self.cache.directory)),
-        ) as pool:
-            results = []
-            for result, profile_delta in pool.map(_grid_worker_cell, cells):
-                # Fold each worker's per-cell stage timings into this
-                # process's profiler, so the breakdown covers the whole
-                # grid regardless of how the cells were distributed.
-                PROFILER.merge(profile_delta)
-                results.append(result)
-            return results
+        manifest = None
+        handles: list = []
+        if share_graphs:
+            handles, manifest = self._export_grid_graphs(cells)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_grid_worker_init,
+                initargs=(self.config, str(self.cache.directory), manifest),
+            ) as pool:
+                results = []
+                for result, profile_delta in pool.map(_grid_worker_cell, cells):
+                    # Fold each worker's per-cell stage timings into this
+                    # process's profiler, so the breakdown covers the whole
+                    # grid regardless of how the cells were distributed.
+                    PROFILER.merge(profile_delta)
+                    results.append(result)
+                return results
+        finally:
+            # The name disappears now; the OS frees the memory when the
+            # last worker mapping is gone (already, at this point).
+            sharedgraph.release_graphs(handles)
+
+    def _export_grid_graphs(self, cells: list[tuple]) -> tuple[list, dict | None]:
+        """Build + export the graphs uncached grid cells will need.
+
+        Only datasets with at least one cache-miss cell are generated
+        (a warm-cache grid costs a few metadata peeks, not a rebuild);
+        each needed (dataset, weighted) graph is built once, here in the
+        parent, under the usual ``generate`` profiler stage.  Returns
+        ``([], None)`` when nothing needs sharing or shared memory is
+        unavailable.
+        """
+        missing = [
+            spec for spec in cells if self.cache.get(self._cell_key(*spec)) is None
+        ]
+        if not missing:
+            return [], None
+        needed: dict[tuple, Graph] = {}
+        for app_name, dataset, _ in missing:
+            # Every cell touches the unweighted graph (roots, mappings);
+            # SSSP cells additionally trace the weighted variant.
+            needed[(dataset, False)] = None
+            if app_name == "SSSP":
+                needed[(dataset, True)] = None
+        try:
+            for dataset, weighted in needed:
+                needed[(dataset, weighted)] = self.graph(dataset, weighted)
+            return sharedgraph.export_graphs(needed)
+        except sharedgraph.SharedMemoryUnavailable:
+            return [], None
 
     # -- derived metrics -----------------------------------------------------
     def speedup(
@@ -393,9 +445,16 @@ class ExperimentRunner:
 _WORKER_RUNNER: ExperimentRunner | None = None
 
 
-def _grid_worker_init(config: ExperimentConfig, cache_dir: str) -> None:
+def _grid_worker_init(
+    config: ExperimentConfig, cache_dir: str, manifest: dict | None = None
+) -> None:
     global _WORKER_RUNNER
     _WORKER_RUNNER = ExperimentRunner(config, cache=DiskCache(cache_dir))
+    if manifest:
+        try:
+            _WORKER_RUNNER._graphs.update(sharedgraph.attach_graphs(manifest))
+        except sharedgraph.SharedMemoryUnavailable:
+            pass  # regenerate per worker, as before graph sharing
 
 
 def _grid_worker_cell(

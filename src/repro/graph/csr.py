@@ -23,6 +23,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.graph import fastgraph
+
 __all__ = ["Graph"]
 
 _ID_DTYPE = np.int32
@@ -71,6 +73,8 @@ class Graph:
         "in_sources",
         "out_weights",
         "in_weights",
+        "_out_degrees",
+        "_in_degrees",
     )
 
     def __init__(
@@ -103,9 +107,41 @@ class Graph:
                 raise ValueError("weight arrays must have one entry per edge")
         self.out_weights = out_weights
         self.in_weights = in_weights
+        self._out_degrees = None
+        self._in_degrees = None
         for arr in (self.out_targets, self.in_sources):
             if arr.size and (arr.min() < 0 or arr.max() >= self.num_vertices):
                 raise ValueError("edge endpoint out of range")
+
+    @classmethod
+    def _from_kernel_arrays(
+        cls,
+        out_offsets: np.ndarray,
+        out_targets: np.ndarray,
+        in_offsets: np.ndarray,
+        in_sources: np.ndarray,
+        out_weights: np.ndarray | None = None,
+        in_weights: np.ndarray | None = None,
+    ) -> "Graph":
+        """Construct without re-validating the CSR invariants.
+
+        Only for arrays whose invariants hold by construction — the
+        compiled kernels' outputs and shared-memory views of graphs
+        validated once in the parent process.  Everything else goes
+        through ``__init__``.
+        """
+        graph = object.__new__(cls)
+        graph.num_edges = int(out_targets.size)
+        graph.num_vertices = int(out_offsets.size - 1)
+        graph.out_offsets = out_offsets
+        graph.out_targets = out_targets
+        graph.in_offsets = in_offsets
+        graph.in_sources = in_sources
+        graph.out_weights = out_weights
+        graph.in_weights = in_weights
+        graph._out_degrees = None
+        graph._in_degrees = None
+        return graph
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -116,12 +152,25 @@ class Graph:
         return self.out_weights is not None
 
     def out_degrees(self) -> np.ndarray:
-        """Out-degree of every vertex (length ``num_vertices``)."""
-        return np.diff(self.out_offsets)
+        """Out-degree of every vertex (length ``num_vertices``).
+
+        Computed once and cached (read-only): degrees sit on the
+        relabel, trace-construction and reorder-analysis hot paths, and
+        the graph is immutable so the answer never changes.
+        """
+        if self._out_degrees is None:
+            degrees = np.diff(self.out_offsets)
+            degrees.setflags(write=False)
+            self._out_degrees = degrees
+        return self._out_degrees
 
     def in_degrees(self) -> np.ndarray:
-        """In-degree of every vertex (length ``num_vertices``)."""
-        return np.diff(self.in_offsets)
+        """In-degree of every vertex (length ``num_vertices``, cached)."""
+        if self._in_degrees is None:
+            degrees = np.diff(self.in_offsets)
+            degrees.setflags(write=False)
+            self._in_degrees = degrees
+        return self._in_degrees
 
     def degrees(self, kind: str = "out") -> np.ndarray:
         """Degree array by kind: ``"out"``, ``"in"`` or ``"both"`` (sum)."""
@@ -157,30 +206,51 @@ class Graph:
     # ------------------------------------------------------------------
     # Relabelling — the primitive every reordering technique uses
     # ------------------------------------------------------------------
-    def relabel(self, mapping: np.ndarray) -> "Graph":
+    def relabel(self, mapping: np.ndarray, engine: str | None = None) -> "Graph":
         """Return a new graph where old vertex ``v`` becomes ``mapping[v]``.
 
-        ``mapping`` must be a permutation of ``[0, num_vertices)``.  This is
-        the (relatively expensive) CSR regeneration step the paper notes
-        dominates reordering cost; it is deliberately implemented with
-        vectorised numpy so the relative costs of the reordering *analyses*
-        remain visible in the timing study (Table XI).
+        ``mapping`` must be a permutation of ``[0, num_vertices)``.  This
+        is the CSR regeneration step the paper notes dominates reordering
+        cost (Section II-E, Table XI).  Two engines produce bit-identical
+        results: the vectorised numpy reference below, and the O(E)
+        counting-placement kernel in :mod:`repro.graph.fastgraph`
+        (selected by ``engine`` / ``REPRO_GRAPH_ENGINE``; ``auto`` uses
+        the kernel whenever a C compiler is available).
         """
         mapping = np.asarray(mapping)
         if mapping.shape != (self.num_vertices,):
             raise ValueError("mapping must have one entry per vertex")
+        # Range-check before the dtype cast: negative labels would wrap
+        # through fancy indexing (and huge ones through the int32 cast)
+        # and could slip past the permutation test below.
+        if mapping.size and (mapping.min() < 0 or mapping.max() >= self.num_vertices):
+            raise ValueError(
+                "mapping entries must be in [0, num_vertices); "
+                "got values outside that range"
+            )
         mapping = mapping.astype(_ID_DTYPE, copy=False)
         check = np.zeros(self.num_vertices, dtype=bool)
         check[mapping] = True
         if not check.all():
             raise ValueError("mapping is not a permutation")
 
+        try:
+            if fastgraph.use_fast(engine):
+                return Graph._from_kernel_arrays(
+                    *fastgraph.relabel_arrays(
+                        self.out_offsets, self.out_targets, self.out_weights, mapping
+                    )
+                )
+        except fastgraph.KernelUnavailable:
+            if fastgraph.resolve_graph_engine(engine) == "fast":
+                raise
         old_src, old_dst = self.edge_array()
         new_src = mapping[old_src]
         new_dst = mapping[old_dst]
         weights = self.out_weights
         return _build_dual_csr(
-            self.num_vertices, new_src, new_dst, weights, stable=True
+            self.num_vertices, new_src, new_dst, weights, stable=True,
+            engine="reference",
         )
 
     # ------------------------------------------------------------------
@@ -226,13 +296,27 @@ def _build_dual_csr(
     dst: np.ndarray,
     weights: np.ndarray | None,
     stable: bool = False,
+    engine: str | None = None,
 ) -> Graph:
     """Construct a :class:`Graph` from parallel edge-endpoint arrays.
 
     Shared by the public builder and :meth:`Graph.relabel`.  When ``stable``
     is true a stable sort keeps the within-vertex edge order deterministic,
-    which relabelling relies on for reproducibility.
+    which relabelling relies on for reproducibility.  The stable path has
+    two bit-identical engines: the dual-argsort numpy reference below and
+    the counting-sort kernel in :mod:`repro.graph.fastgraph` (``engine`` /
+    ``REPRO_GRAPH_ENGINE``); the unstable path always runs the reference
+    (quicksort tie order is not reproducible by a stable counting sort).
     """
+    if stable:
+        try:
+            if fastgraph.use_fast(engine):
+                return Graph._from_kernel_arrays(
+                    *fastgraph.build_csr_arrays(num_vertices, src, dst, weights)
+                )
+        except fastgraph.KernelUnavailable:
+            if fastgraph.resolve_graph_engine(engine) == "fast":
+                raise
     kind = "stable" if stable else "quicksort"
     out_order = np.argsort(src, kind=kind)
     out_src = src[out_order]

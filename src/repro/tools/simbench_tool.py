@@ -10,7 +10,12 @@ Three benchmark families, selectable with ``--bench``:
   shuffled quarter-lattice workload (counting-sort kernel path) and a
   builder-shaped interleaved workload (run-merge kernel path);
 * ``gorder`` — the compiled Gorder placement loop vs the Python heap
-  loop on an R-MAT graph.
+  loop on an R-MAT graph;
+* ``relabel`` — CSR regeneration under a permutation: the O(E)
+  counting-placement graph kernel vs the dual-argsort numpy reference
+  on a dataset analog;
+* ``build`` — dual-CSR construction from a shuffled edge list: the
+  counting-sort graph kernel vs the stable-argsort numpy reference.
 
 Every timed pair is asserted bit-identical before speedups are printed.
 ``--json`` archives the numbers in the ``BENCH_cachesim.json`` format
@@ -21,6 +26,7 @@ Examples::
     repro-simbench --runs 500000
     repro-simbench --policy lip --engines fast
     repro-simbench --bench trace --trace-runs 262144
+    repro-simbench --bench relabel --graph-dataset sd
     repro-simbench --bench all --json BENCH_cachesim.json
 """
 
@@ -51,6 +57,8 @@ __all__ = [
     "time_engines",
     "time_trace_build",
     "time_gorder",
+    "time_relabel",
+    "time_csr_build",
 ]
 
 
@@ -246,6 +254,117 @@ def time_gorder(
     return results
 
 
+def _assert_same_graph(ref, fast, label: str) -> None:
+    if ref != fast:
+        raise AssertionError(f"fast {label} diverged from reference")
+    if ref.is_weighted and not (
+        np.array_equal(ref.out_weights, fast.out_weights)
+        and np.array_equal(ref.in_weights, fast.in_weights)
+    ):
+        raise AssertionError(f"fast {label} weights diverged from reference")
+
+
+def time_relabel(
+    dataset: str = "sd", seed: int = 0, weighted: bool = False, repeats: int = 5
+) -> dict:
+    """Best-of-``repeats`` CSR relabel time, graph kernel vs numpy.
+
+    Relabels a dataset analog under a seeded random permutation (the
+    worst-case scatter pattern, and what RandomVertex produces) and
+    asserts both engines emit bit-identical dual CSRs.
+    """
+    from repro.graph.fastgraph import fast_available as graph_fast_available
+    from repro.graph.generators import load_dataset
+
+    graph = load_dataset(dataset, weighted=weighted)
+    mapping = np.random.default_rng(seed).permutation(graph.num_vertices)
+    best_ref = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        ref = graph.relabel(mapping, engine="reference")
+        best_ref = min(best_ref, time.perf_counter() - start)
+    results: dict = {
+        "dataset": dataset,
+        "vertices": int(graph.num_vertices),
+        "edges": int(graph.num_edges),
+        "weighted": weighted,
+        "engines": {
+            "reference": {
+                "seconds": best_ref,
+                "edges_per_second": graph.num_edges / best_ref,
+            }
+        },
+    }
+    if graph_fast_available():
+        best_fast = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fast = graph.relabel(mapping, engine="fast")
+            best_fast = min(best_fast, time.perf_counter() - start)
+        _assert_same_graph(ref, fast, "relabel")
+        results["engines"]["fast"] = {
+            "seconds": best_fast,
+            "edges_per_second": graph.num_edges / best_fast,
+        }
+        results["speedup_fast_over_reference"] = best_ref / best_fast
+    return results
+
+
+def time_csr_build(
+    dataset: str = "sd", seed: int = 0, weighted: bool = False, repeats: int = 5
+) -> dict:
+    """Best-of-``repeats`` dual-CSR build time, graph kernel vs numpy.
+
+    Rebuilds a dataset analog from its own edge list in shuffled order
+    (what generators and ``from_edges`` callers feed the builder) and
+    asserts both engines emit bit-identical dual CSRs.
+    """
+    from repro.graph.csr import _build_dual_csr
+    from repro.graph.fastgraph import fast_available as graph_fast_available
+    from repro.graph.generators import load_dataset
+
+    graph = load_dataset(dataset, weighted=weighted)
+    src, dst = graph.edge_array()
+    order = np.random.default_rng(seed).permutation(graph.num_edges)
+    src = src[order].astype(np.int64)
+    dst = dst[order].astype(np.int64)
+    weights = graph.out_weights[order] if weighted else None
+    best_ref = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        ref = _build_dual_csr(
+            graph.num_vertices, src, dst, weights, stable=True, engine="reference"
+        )
+        best_ref = min(best_ref, time.perf_counter() - start)
+    results: dict = {
+        "dataset": dataset,
+        "vertices": int(graph.num_vertices),
+        "edges": int(graph.num_edges),
+        "weighted": weighted,
+        "engines": {
+            "reference": {
+                "seconds": best_ref,
+                "edges_per_second": graph.num_edges / best_ref,
+            }
+        },
+    }
+    if graph_fast_available():
+        best_fast = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fast = _build_dual_csr(
+                graph.num_vertices, src, dst, weights, stable=True, engine="fast"
+            )
+            best_fast = min(best_fast, time.perf_counter() - start)
+        _assert_same_graph(ref, fast, "CSR build")
+        results["engines"]["fast"] = {
+            "seconds": best_fast,
+            "edges_per_second": graph.num_edges / best_fast,
+        }
+        results["speedup_fast_over_reference"] = best_ref / best_fast
+    return results
+
+
 def time_engines(
     trace: MemoryTrace,
     config: HierarchyConfig,
@@ -294,8 +413,12 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Benchmark the compiled engines (cachesim, trace build, Gorder)."
     )
-    parser.add_argument("--bench", choices=["sim", "trace", "gorder", "all"],
-                        default="sim", help="which benchmark family to run")
+    parser.add_argument(
+        "--bench",
+        choices=["sim", "trace", "gorder", "relabel", "build", "all"],
+        default="sim",
+        help="which benchmark family to run",
+    )
     parser.add_argument("--runs", type=int, default=500_000,
                         help="compressed trace runs to simulate (sim bench)")
     parser.add_argument("--seed", type=int, default=0)
@@ -309,6 +432,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="stream entries for the trace-build bench")
     parser.add_argument("--gorder-scale", type=int, default=13,
                         help="R-MAT scale exponent for the Gorder bench")
+    parser.add_argument("--graph-dataset", type=str, default="sd",
+                        help="dataset analog for the relabel/build benches")
     parser.add_argument("--json", type=str, default=None,
                         help="also write results as JSON to this path")
     args = parser.parse_args(argv)
@@ -371,6 +496,38 @@ def main(argv: list[str] | None = None) -> int:
             )
         _print_speedup(results)
         output["gorder"] = results
+
+    if args.bench in ("relabel", "all"):
+        results = time_relabel(
+            args.graph_dataset, seed=args.seed, repeats=max(args.repeats, 3)
+        )
+        print(
+            f"relabel [{results['dataset']}]: {results['vertices']:,} vertices / "
+            f"{results['edges']:,} edges"
+        )
+        for engine, row in results["engines"].items():
+            print(
+                f"{engine:>9s}: {row['seconds'] * 1e3:8.1f}ms  "
+                f"{row['edges_per_second'] / 1e6:8.2f} M edges/s"
+            )
+        _print_speedup(results)
+        output["relabel"] = results
+
+    if args.bench in ("build", "all"):
+        results = time_csr_build(
+            args.graph_dataset, seed=args.seed, repeats=max(args.repeats, 3)
+        )
+        print(
+            f"csr build [{results['dataset']}]: {results['vertices']:,} vertices / "
+            f"{results['edges']:,} edges"
+        )
+        for engine, row in results["engines"].items():
+            print(
+                f"{engine:>9s}: {row['seconds'] * 1e3:8.1f}ms  "
+                f"{row['edges_per_second'] / 1e6:8.2f} M edges/s"
+            )
+        _print_speedup(results)
+        output["csr_build"] = results
 
     if args.json:
         with open(args.json, "w") as handle:

@@ -115,6 +115,83 @@ class TestRunGrid:
         assert len(list((tmp_path / "c").glob("*.pkl"))) >= len(self.GRID[2])
 
 
+class TestSharedGraphTransport:
+    """Zero-copy graph shipping to grid workers (repro.analysis.sharedgraph)."""
+
+    GRID = (["PR", "SSSP"], ["lj"], ["Original", "DBG"])
+
+    def test_export_attach_roundtrip(self, runner):
+        from repro.analysis import sharedgraph
+
+        graphs = {
+            ("lj", False): runner.graph("lj"),
+            ("lj", True): runner.graph("lj", weighted=True),
+        }
+        handles, manifest = sharedgraph.export_graphs(graphs)
+        try:
+            attached = sharedgraph.attach_graphs(manifest)
+            for key, original in graphs.items():
+                clone = attached[key]
+                assert clone == original
+                assert not clone.out_offsets.flags.writeable
+                assert clone.is_weighted == original.is_weighted
+                if original.is_weighted:
+                    assert np.array_equal(clone.out_weights, original.out_weights)
+        finally:
+            sharedgraph.release_graphs(handles)
+
+    def test_parallel_shared_matches_serial(self, tmp_path):
+        """CellResults must be identical serial vs shared-memory parallel.
+
+        The grid includes SSSP so the weighted analog also rides the
+        shared segments.
+        """
+        config = ExperimentConfig(scale=0.2, num_roots=1)
+        serial_runner = ExperimentRunner(config, cache=DiskCache(tmp_path / "s"))
+        shared_runner = ExperimentRunner(config, cache=DiskCache(tmp_path / "p"))
+        serial = serial_runner.run_grid(*self.GRID, workers=1)
+        shared = shared_runner.run_grid(*self.GRID, workers=2)
+        assert serial == shared
+
+    def test_fallback_matches_shared(self, tmp_path):
+        """share_graphs=False (the regeneration path) stays bit-identical."""
+        config = ExperimentConfig(scale=0.2, num_roots=1)
+        shared_runner = ExperimentRunner(config, cache=DiskCache(tmp_path / "a"))
+        fallback_runner = ExperimentRunner(config, cache=DiskCache(tmp_path / "b"))
+        shared = shared_runner.run_grid(*self.GRID, workers=2)
+        fallback = fallback_runner.run_grid(*self.GRID, workers=2, share_graphs=False)
+        assert shared == fallback
+
+    def test_warm_cache_skips_export(self, tmp_path, monkeypatch):
+        """A fully-cached grid must not rebuild or export any graph."""
+        from repro.analysis import sharedgraph
+
+        config = ExperimentConfig(scale=0.2, num_roots=1)
+        runner = ExperimentRunner(config, cache=DiskCache(tmp_path / "c"))
+        runner.run_grid(*self.GRID)  # populate the disk cache
+
+        def boom(graphs):  # pragma: no cover - must not run
+            raise AssertionError("export_graphs called on a warm cache")
+
+        monkeypatch.setattr(sharedgraph, "export_graphs", boom)
+        replay = ExperimentRunner(config, cache=DiskCache(tmp_path / "c"))
+        results = replay.run_grid(*self.GRID, workers=2)
+        assert len(results) == 4
+
+    def test_export_failure_falls_back(self, tmp_path, monkeypatch):
+        """SharedMemoryUnavailable must degrade to regeneration, not fail."""
+        from repro.analysis import sharedgraph
+
+        def unavailable(graphs):
+            raise sharedgraph.SharedMemoryUnavailable("no /dev/shm")
+
+        monkeypatch.setattr(sharedgraph, "export_graphs", unavailable)
+        config = ExperimentConfig(scale=0.2, num_roots=1)
+        runner = ExperimentRunner(config, cache=DiskCache(tmp_path / "f"))
+        results = runner.run_grid(["PR"], ["lj"], ["Original"], workers=2)
+        assert len(results) == 1
+
+
 class TestSpeedups:
     def test_original_speedup_zero(self, runner):
         assert runner.speedup("PR", "lj", "Original") == pytest.approx(0.0)
