@@ -1,0 +1,136 @@
+"""CI gate: a warm grid must replay entirely from the artifact store.
+
+Runs a small experiment grid twice against one store directory:
+
+* **cold** — nothing persisted; asserts the store counters show each
+  unique mapping/trace artifact stored exactly once (the stage-granular
+  scheduler's contract) and one stored result per cell;
+* **warm** — a fresh pipeline on the same store; asserts *zero* stage
+  recomputations: every cell is a store hit, no kind records a miss or a
+  store, and the stage profiler confirms no expensive stage ran.
+
+Both passes run with ``workers=2`` so the exactly-once guarantee is
+exercised across real processes, and the results of the two passes are
+compared cell-for-cell.  Emits ``BENCH_grid_cache.json`` with the store
+counters and the per-stage ``grid_stages`` timing breakdown of each pass
+for the CI artifact archive.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/grid_cache_check.py [--workers 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.analysis.experiments import ExperimentConfig, ExperimentRunner
+from repro.pipeline import ArtifactStore, plan_stage_jobs
+from repro.pipeline.profiler import PROFILER
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_grid_cache.json"
+
+GRID = (["PR", "SSSP"], ["lj", "wl"], ["Original", "DBG", "Sort"])
+
+
+def _stage_breakdown() -> dict:
+    """Profiler snapshot as JSON (the ``grid_stages`` payload shape)."""
+    snap = PROFILER.snapshot()
+    total = sum(s.seconds for s in snap.values())
+    return {
+        "staged_seconds": total,
+        "stages": {
+            stage: {
+                "seconds": s.seconds,
+                "share": s.seconds / total if total else 0.0,
+                "calls": s.calls,
+                "cache_hits": s.cache_hits,
+            }
+            for stage, s in sorted(snap.items())
+        },
+    }
+
+
+def run_pass(label: str, config: ExperimentConfig, store_dir: Path, workers: int):
+    runner = ExperimentRunner(config, store=ArtifactStore(store_dir))
+    PROFILER.reset()
+    results = runner.run_grid(*GRID, workers=workers)
+    payload = {
+        "store": runner.store.stats.as_dict(),
+        "grid_stages": _stage_breakdown(),
+    }
+    print(f"[{label}] store counters:")
+    for kind, counters in payload["store"].items():
+        print(f"  {kind:<8} {counters}")
+    return runner, results, payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--scale", type=float, default=1.0)
+    args = parser.parse_args(argv)
+
+    config = ExperimentConfig(scale=args.scale, num_roots=1)
+    cells = [(a, d, t) for a in GRID[0] for d in GRID[1] for t in GRID[2]]
+
+    with tempfile.TemporaryDirectory(prefix="grid-cache-check-") as tmp:
+        store_dir = Path(tmp)
+
+        cold_runner, cold_results, cold = run_pass(
+            "cold", config, store_dir, args.workers
+        )
+        _, mapping_jobs, trace_jobs = plan_stage_jobs(
+            ExperimentRunner(config, store=ArtifactStore(store_dir)).pipeline, cells
+        )
+        assert not mapping_jobs and not trace_jobs, "cold pass left gaps in the store"
+        stats = cold["store"]
+        assert stats["cell"]["stores"] == len(cells), stats
+        assert stats["mapping"]["stores"] == stats["mapping"]["misses"], (
+            "a mapping was recomputed after another worker stored it"
+        )
+        assert stats["trace"]["stores"] == stats["trace"]["misses"], (
+            "a trace was recomputed after another worker stored it"
+        )
+
+        warm_runner, warm_results, warm = run_pass(
+            "warm", config, store_dir, args.workers
+        )
+        assert warm_results == cold_results, "warm replay diverged from cold results"
+        wstats = warm["store"]
+        assert wstats["cell"]["hits"] == len(cells), wstats
+        for kind, counters in wstats.items():
+            assert counters["misses"] == 0, f"warm pass missed on {kind}: {counters}"
+            assert counters["stores"] == 0, f"warm pass recomputed {kind}: {counters}"
+        warm_calls = {
+            stage: entry["calls"]
+            for stage, entry in warm["grid_stages"]["stages"].items()
+            if stage in ("mapping", "trace", "simulate")
+        }
+        assert not any(warm_calls.values()), (
+            f"warm pass executed expensive stages: {warm_calls}"
+        )
+
+    BENCH_PATH.write_text(
+        json.dumps(
+            {
+                "grid": {"cells": len(cells), "workers": args.workers},
+                "cold": cold,
+                "warm": warm,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    print(f"ok: warm grid replayed {len(cells)} cells with zero stage recomputes")
+    print(f"wrote {BENCH_PATH.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,7 +19,7 @@ Measurements:
   beat reference overall and that the relabel share sits below both the
   trace and simulate shares;
 * **grid_runner** — cells/second for ``ExperimentRunner.run_grid`` serial
-  vs process-parallel against cold disk caches (recorded, not asserted:
+  vs process-parallel against cold artifact stores (recorded, not asserted:
   the win depends on available cores, which the JSON also records).
 """
 
@@ -30,7 +30,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis.diskcache import DiskCache
+from repro.pipeline import ArtifactStore
 from repro.analysis.experiments import ExperimentConfig, ExperimentRunner
 from repro.analysis.profiler import PROFILER
 from repro.cachesim import DEFAULT_HIERARCHY, fast_available
@@ -197,7 +197,7 @@ def test_grid_stage_profile(tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_TRACE_ENGINE", engine)
         monkeypatch.setenv("REPRO_GRAPH_ENGINE", engine)
         runner = ExperimentRunner(
-            ExperimentConfig(scale=8.0), cache=DiskCache(tmp_path / engine)
+            ExperimentConfig(scale=8.0), store=ArtifactStore(tmp_path / engine)
         )
         PROFILER.reset()
         runner.run_grid(*GRID)
@@ -238,13 +238,13 @@ def test_grid_stage_profile(tmp_path, monkeypatch):
 
 def test_grid_runner_throughput(tmp_path):
     config = ExperimentConfig()
-    serial_runner = ExperimentRunner(config, cache=DiskCache(tmp_path / "serial"))
+    serial_runner = ExperimentRunner(config, store=ArtifactStore(tmp_path / "serial"))
     start = time.perf_counter()
     serial = serial_runner.run_grid(*GRID)
     serial_s = time.perf_counter() - start
 
     workers = min(4, os.cpu_count() or 1)
-    parallel_runner = ExperimentRunner(config, cache=DiskCache(tmp_path / "parallel"))
+    parallel_runner = ExperimentRunner(config, store=ArtifactStore(tmp_path / "parallel"))
     start = time.perf_counter()
     parallel = parallel_runner.run_grid(*GRID, workers=workers)
     parallel_s = time.perf_counter() - start

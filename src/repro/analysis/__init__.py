@@ -3,9 +3,10 @@
 ``repro.analysis.tables`` and ``repro.analysis.figures`` contain one
 function per table and figure of the paper's evaluation; each returns the
 structured rows/series and can render itself as ASCII.  The heavy lifting
-(reorder → trace → simulate → model) lives in
-:class:`~repro.analysis.experiments.ExperimentRunner`, which memoizes
-results on disk so that reruns and the benchmark suite stay fast.
+(reorder → trace → simulate → model) lives in the stage-graph pipeline
+(:mod:`repro.pipeline`); :class:`~repro.analysis.experiments.ExperimentRunner`
+is the facade over it, memoizing stage outputs in the content-addressed
+artifact store so that reruns and the benchmark suite stay fast.
 """
 
 from repro.analysis.experiments import ExperimentConfig, ExperimentRunner

@@ -183,7 +183,7 @@ def cache_scale_sweep(
                     hierarchy=base_config.hierarchy.scaled(factor),
                     num_roots=base_config.num_roots,
                 )
-                runner = ExperimentRunner(config, cache=base_runner.cache)
+                runner = ExperimentRunner(config, store=base_runner.store)
             row.append(round(runner.speedup(app, dataset, "DBG"), 1))
         rows.append(row)
     return {
@@ -228,7 +228,7 @@ def replacement_policy_sweep(
                     hierarchy=hierarchy,
                     num_roots=base_config.num_roots,
                 )
-                runner = ExperimentRunner(config, cache=base_runner.cache)
+                runner = ExperimentRunner(config, store=base_runner.store)
             row.append(round(runner.speedup(app, dataset, "DBG"), 1))
         rows.append(row)
     return {

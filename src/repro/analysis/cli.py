@@ -13,11 +13,11 @@ import argparse
 import os
 import sys
 
+from repro import engines
 from repro.analysis import ablations, figures, tables
 from repro.analysis.experiments import ExperimentConfig, ExperimentRunner
 from repro.analysis.charts import render_chart
 from repro.analysis.render import render_result
-from repro.cachesim.hierarchy import ENGINES
 
 __all__ = ["main"]
 
@@ -87,16 +87,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--workers", type=int, default=1,
         help="processes for pre-warming the main experiment grid into the "
-        "disk cache before the (serial) tables/figures replay it",
+        "artifact store before the (serial) tables/figures replay it",
     )
     parser.add_argument(
-        "--engine", choices=ENGINES, default=None,
+        "--engine", choices=engines.ENGINE_CHOICES, default=None,
         help="cache-simulation engine (default: auto — compiled kernel "
         "when available, else the pure-Python reference loop)",
     )
     parser.add_argument(
-        "--trace-engine", choices=ENGINES, default=None,
+        "--trace-engine", choices=engines.ENGINE_CHOICES, default=None,
         help="trace-construction engine (gather/merge/Gorder kernels; "
+        "default: auto)",
+    )
+    parser.add_argument(
+        "--graph-engine", choices=engines.ENGINE_CHOICES, default=None,
+        help="graph-structure engine (CSR relabel/build kernels; "
         "default: auto)",
     )
     parser.add_argument(
@@ -110,6 +115,13 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_SIM_ENGINE"] = args.engine
     if args.trace_engine:
         os.environ["REPRO_TRACE_ENGINE"] = args.trace_engine
+    if args.graph_engine:
+        os.environ["REPRO_GRAPH_ENGINE"] = args.graph_engine
+    try:
+        # Fail on a misconfigured engine variable before any work starts.
+        engines.validate_env()
+    except ValueError as exc:
+        parser.error(str(exc))
 
     names = list(args.experiments)
     if names == ["all"]:
@@ -145,7 +157,7 @@ def main(argv: list[str] | None = None) -> int:
             print(render_result(result))
         print()
     if args.profile:
-        from repro.analysis.profiler import PROFILER
+        from repro.pipeline.profiler import PROFILER
 
         print("pipeline stage breakdown (this run, workers included):")
         print(PROFILER.format_snapshot())

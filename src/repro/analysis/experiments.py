@@ -1,235 +1,88 @@
-"""The experiment engine behind every reproduced table and figure.
+"""The user-facing facade over the experiment pipeline.
 
 One *cell* of the paper's evaluation grid is (application, dataset,
-reordering technique).  Producing a cell means:
+reordering technique).  Producing a cell walks the declared stage DAG
+(generate → mapping → relabel → trace → simulate → model); the heavy
+lifting lives in :mod:`repro.pipeline`:
 
-1. generate (or fetch) the dataset analog;
-2. instantiate the technique with the degree kind the paper uses for that
-   application (Table VIII) and compute the mapping;
-3. relabel the graph, remap the application's recorded execution plan, and
-   build the representative-super-step memory trace;
-4. run the trace through the cache simulator;
-5. convert miss counts to cycles and reordering cost to cycles.
+* :class:`~repro.pipeline.cells.CellPipeline` executes the stage graph;
+* :class:`~repro.pipeline.store.ArtifactStore` persists the expensive
+  stage outputs (mappings, traces, cell results) content-addressed and
+  schema-versioned;
+* :func:`~repro.pipeline.grid.run_grid` schedules whole grids at stage
+  granularity, so each unique mapping/trace is computed exactly once
+  across all cells and workers.
 
-Steps 2–4 are the expensive ones, so cell results (small dicts of counters)
-are memoized on disk via :class:`repro.analysis.diskcache.DiskCache`, as
-are Gorder mappings and application plans.
+:class:`ExperimentRunner` keeps the historical surface (``cell``,
+``run_grid``, ``speedup``) for the tables/figures/report layers and the
+notebooks, and simply delegates.
 """
 
 from __future__ import annotations
 
-import itertools
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import astuple, dataclass, field
-
 import numpy as np
 
-from repro.analysis import sharedgraph
-from repro.analysis.diskcache import DiskCache
-from repro.analysis.profiler import PROFILER, StageStats, diff_snapshots
-from repro.apps import make_app
-from repro.apps.registry import APPS
-from repro.cachesim import DEFAULT_HIERARCHY, HierarchyConfig, simulate_trace
-from repro.graph.csr import Graph
-from repro.graph.generators import load_dataset
-from repro.perfmodel.cost import ReorderCostModel
-from repro.perfmodel.timing import LatencyModel, superstep_cycles
-from repro.reorder import Composed, Gorder, make_technique
-from repro.reorder.base import identity_mapping
+from repro.pipeline import grid as _grid
+from repro.pipeline.cells import (  # noqa: F401  (re-exported surface)
+    PAPER_TRAVERSALS,
+    ROOT_APPS,
+    CellPipeline,
+    CellResult,
+    ExperimentConfig,
+)
+from repro.pipeline.store import ArtifactStore
 
 __all__ = ["ExperimentConfig", "ExperimentRunner", "CellResult"]
 
-#: Apps whose runtime depends on a traversal root (paper runs 8 roots).
-ROOT_APPS = ("SSSP", "BC")
-#: Traversals the paper aggregates for root-dependent applications.
-PAPER_TRAVERSALS = 8
-
-
-@dataclass(frozen=True)
-class ExperimentConfig:
-    """Knobs shared by a whole experiment campaign."""
-
-    scale: float = 1.0
-    hierarchy: HierarchyConfig = DEFAULT_HIERARCHY
-    latencies: LatencyModel = field(default_factory=LatencyModel)
-    cost_model: ReorderCostModel = field(default_factory=ReorderCostModel)
-    #: Roots sampled (and averaged) per root-dependent cell.
-    num_roots: int = 2
-    #: Traversal count used when reporting whole-run times for root apps.
-    traversals: int = PAPER_TRAVERSALS
-
-    def cache_key(self) -> tuple:
-        """Everything a cached cell result depends on.
-
-        The hierarchy ``engine`` knob is deliberately excluded: engines
-        are bit-identical, so switching them must *hit* the same slots.
-        The latency and cost models are folded in field by field — cached
-        cycle counts are stale the moment either model changes.
-        """
-        h = self.hierarchy
-        return (
-            self.scale,
-            (h.l1.size_bytes, h.l1.associativity),
-            (h.l2.size_bytes, h.l2.associativity),
-            (h.l3.size_bytes, h.l3.associativity),
-            h.replacement,
-            h.cores_per_socket,
-            h.ownership_blocks,
-            astuple(self.latencies),
-            astuple(self.cost_model),
-            self.num_roots,
-            self.traversals,
-        )
-
-
-@dataclass
-class CellResult:
-    """Counters for one (app, dataset, technique) cell.
-
-    ``superstep_cycles`` / ``run_cycles`` are modelled execution cycles for
-    one work unit (PR iteration, one traversal's representative step) and
-    for the whole run respectively; ``reorder_cycles`` is the modelled
-    end-to-end reordering cost in the same domain.
-    """
-
-    app: str
-    dataset: str
-    technique: str
-    mpki: dict
-    l2_breakdown: dict
-    l2_misses: int
-    instructions: int
-    superstep_cycles: float
-    unit_cycles: float  #: cycles per work unit (iteration / traversal)
-    run_cycles: float  #: whole run, excluding reordering
-    reorder_cycles: float
-
 
 class ExperimentRunner:
-    """Produces memoized cell results and derived speedups."""
+    """Produces memoized cell results and derived speedups.
+
+    A thin facade over :class:`~repro.pipeline.cells.CellPipeline`: the
+    runner owns one pipeline (and hence one artifact store) and forwards
+    the building-block accessors the analysis layers and tests use.
+    """
 
     def __init__(
-        self, config: ExperimentConfig | None = None, cache: DiskCache | None = None
+        self,
+        config: ExperimentConfig | None = None,
+        store: ArtifactStore | None = None,
     ) -> None:
-        self.config = config or ExperimentConfig()
-        self.cache = cache or DiskCache()
-        self._graphs: dict[tuple, Graph] = {}
-        self._plans: dict[tuple, object] = {}
-        self._mappings: dict[tuple, np.ndarray] = {}
-        self._reordered: dict[tuple, Graph] = {}
+        self.pipeline = CellPipeline(config, store)
+
+    @property
+    def config(self) -> ExperimentConfig:
+        return self.pipeline.config
+
+    @property
+    def store(self) -> ArtifactStore:
+        return self.pipeline.store
 
     # -- building blocks ---------------------------------------------------
-    def graph(self, dataset: str, weighted: bool = False) -> Graph:
-        key = (dataset, weighted)
-        if key not in self._graphs:
-            with PROFILER.stage("generate"):
-                self._graphs[key] = load_dataset(
-                    dataset, scale=self.config.scale, weighted=weighted
-                )
-        return self._graphs[key]
+    def graph(self, dataset: str, weighted: bool = False):
+        return self.pipeline.graph(dataset, weighted)
 
     def roots(self, dataset: str) -> list[int]:
         """Deterministic traversal roots with non-trivial out-degree."""
-        graph = self.graph(dataset)
-        seed = int.from_bytes(dataset.encode(), "little") % (2**32)
-        rng = np.random.default_rng(seed)
-        candidates = np.flatnonzero(graph.out_degrees() >= graph.average_degree())
-        if candidates.size == 0:
-            candidates = np.arange(graph.num_vertices)
-        picks = rng.choice(
-            candidates, size=min(self.config.num_roots, candidates.size), replace=False
-        )
-        return [int(p) for p in picks]
+        return self.pipeline.roots(dataset)
 
-    def mapping(self, dataset: str, technique_name: str, degree_kind: str) -> np.ndarray:
-        """Permutation for (dataset, technique); Gorder is disk-memoized."""
-        key = (dataset, technique_name, degree_kind)
-        if key in self._mappings:
-            return self._mappings[key]
-        technique = self._make(technique_name, degree_kind)
-        if isinstance(technique, (Gorder, Composed)):
-            # Keyed by the technique's full identity (class, degree kind,
-            # window, ...) — a mapping depends only on the graph and the
-            # technique, never on the hierarchy/latency knobs.
-            disk_key = (
-                "mapping",
-                self.config.scale,
-                dataset,
-                technique.cache_token(),
-            )
-            cached = self.cache.get(disk_key)
-            if cached is not None:
-                PROFILER.count_cache_hit("mapping")
-                mapping = cached
-            else:
-                with PROFILER.stage("mapping"):
-                    mapping = technique.compute_mapping(self.graph(dataset))
-                self.cache.set(disk_key, mapping)
-        elif technique_name == "Original":
-            mapping = identity_mapping(self.graph(dataset).num_vertices)
-        else:
-            with PROFILER.stage("mapping"):
-                mapping = technique.compute_mapping(self.graph(dataset))
-        self._mappings[key] = mapping
-        return mapping
+    def mapping(self, dataset: str, technique_name: str, degree_kind: str):
+        """Permutation for (dataset, technique); store-memoized."""
+        return self.pipeline.mapping(dataset, technique_name, degree_kind)
 
     def _make(self, technique_name: str, degree_kind: str):
-        # Ablation labels may pin the degree kind: "DBG@in".
-        if "@" in technique_name:
-            technique_name, _, degree_kind = technique_name.partition("@")
-        if technique_name == "Gorder+DBG":
-            return Composed([Gorder(degree_kind), make_technique("DBG", degree_kind)])
-        if technique_name.startswith("Gorder-w"):
-            # Ablation labels: Gorder with an explicit window size.
-            return Gorder(degree_kind, window=int(technique_name[8:]))
-        if technique_name.startswith("DBG-g"):
-            # Ablation labels: DBG with an explicit hot-group count.
-            return make_technique(
-                "DBG", degree_kind, num_hot_groups=int(technique_name[5:])
-            )
-        if technique_name.startswith("DBG-t"):
-            # Ablation labels: DBG with a scaled hot threshold.
-            return make_technique(
-                "DBG", degree_kind, boundary_scale=float(technique_name[5:])
-            )
-        return make_technique(technique_name, degree_kind)
+        return self.pipeline.make_technique(technique_name, degree_kind)
 
     def reordered_graph(
         self, dataset: str, technique_name: str, degree_kind: str, weighted: bool
-    ) -> Graph:
-        key = (dataset, technique_name, degree_kind, weighted)
-        if key not in self._reordered:
-            mapping = self.mapping(dataset, technique_name, degree_kind)
-            graph = self.graph(dataset, weighted)
-            with PROFILER.stage("relabel"):
-                self._reordered[key] = graph.relabel(mapping)
-        return self._reordered[key]
+    ):
+        return self.pipeline.reordered_graph(
+            dataset, technique_name, degree_kind, weighted
+        )
 
     def plan(self, app_name: str, dataset: str, root: int | None = None):
         """Application execution plan recorded on the original ordering."""
-        key = (app_name, dataset, root)
-        if key not in self._plans:
-            app = make_app(app_name)
-            weighted = app_name == "SSSP"
-            graph = self.graph(dataset, weighted)
-            kwargs = {} if root is None else {"root": root}
-            self._plans[key] = app.plan(graph, **kwargs)
-        return self._plans[key]
-
-    # -- cells ---------------------------------------------------------------
-    def _cell_key(self, app_name: str, dataset: str, technique_name: str) -> tuple:
-        return ("cell", self.config.cache_key(), app_name, dataset, technique_name)
-
-    def cell(self, app_name: str, dataset: str, technique_name: str) -> CellResult:
-        """Memoized counters for one grid cell (see module docstring)."""
-        disk_key = self._cell_key(app_name, dataset, technique_name)
-        cached = self.cache.get(disk_key)
-        if cached is not None:
-            return CellResult(**cached)
-        result = self._compute_cell(app_name, dataset, technique_name)
-        payload = {k: getattr(result, k) for k in result.__dataclass_fields__}
-        self.cache.set(disk_key, payload)
-        return result
+        return self.pipeline.plan(app_name, dataset, root)
 
     def app_trace(
         self,
@@ -240,101 +93,16 @@ class ExperimentRunner:
         degree_kind: str,
         root: int | None,
     ):
-        """Built :class:`AppTrace` for one (cell, root), disk-memoized.
-
-        Traces depend only on the graph (dataset + scale), the technique's
-        identity and the application/root — not on the hierarchy or the
-        timing models — so one build serves every hierarchy sweep.
-        """
-        technique = self._make(technique_name, degree_kind)
-        disk_key = (
-            "trace",
-            self.config.scale,
-            app_name,
-            dataset,
-            technique.cache_token() if technique_name != "Original" else "Original",
-            root,
-        )
-        cached = self.cache.get(disk_key)
-        if cached is not None:
-            PROFILER.count_cache_hit("trace")
-            return cached
-        weighted = app_name == "SSSP"
-        graph = self.reordered_graph(dataset, technique_name, degree_kind, weighted)
-        mapping = self.mapping(dataset, technique_name, degree_kind)
-        plan = self.plan(app_name, dataset, root).remap(mapping)
-        with PROFILER.stage("trace"):
-            trace = app.trace(graph, plan)
-        self.cache.set(disk_key, trace)
-        return trace
-
-    def _compute_cell(self, app_name: str, dataset: str, technique_name: str) -> CellResult:
-        app = make_app(app_name)
-        weighted = app_name == "SSSP"
-        degree_kind = app.reorder_degree_kind
-        if "@" in technique_name:
-            degree_kind = technique_name.partition("@")[2]
-
-        roots = self.roots(dataset) if app_name in ROOT_APPS else [None]
-        total_instr = 0
-        total_l1m = total_l2m = total_l3m = 0
-        total_accesses = 0
-        breakdown = {"l3_hit": 0, "snoop_local": 0, "snoop_remote": 0, "offchip": 0}
-        step_cycles = []
-        unit_cycles = []
-        run_cycles = []
-        for root in roots:
-            app_trace = self.app_trace(
-                app, app_name, dataset, technique_name, degree_kind, root
-            )
-            with PROFILER.stage("simulate"):
-                stats = simulate_trace(app_trace.trace, self.config.hierarchy)
-            total_instr += app_trace.instructions
-            total_accesses += stats.accesses
-            total_l1m += stats.l1_misses
-            total_l2m += stats.l2_misses
-            total_l3m += stats.l3_misses
-            for k in breakdown:
-                breakdown[k] += stats.l2_miss_breakdown[k]
-            with PROFILER.stage("model"):
-                cycles = superstep_cycles(app_trace, stats, self.config.latencies)
-            step_cycles.append(cycles)
-            per_run = cycles * app_trace.superstep_multiplier
-            unit_cycles.append(per_run)  # one traversal / whole iterative run
-            run_cycles.append(per_run)
-
-        mean_step = float(np.mean(step_cycles))
-        mean_unit = float(np.mean(unit_cycles))
-        if app_name in ROOT_APPS:
-            # Paper aggregates 8 traversals; we extrapolate the mean root.
-            total_run = mean_unit * self.config.traversals
-        else:
-            total_run = mean_unit
-        kilo = max(total_instr, 1) / 1000.0
-        technique = self._make(technique_name, degree_kind)
-        with PROFILER.stage("model"):
-            reorder_cycles = self.config.cost_model.total_cycles(
-                technique, self.graph(dataset, weighted)
-            )
-        return CellResult(
-            app=app_name,
-            dataset=dataset,
-            technique=technique_name,
-            mpki={
-                "l1": total_l1m / kilo,
-                "l2": total_l2m / kilo,
-                "l3": total_l3m / kilo,
-            },
-            l2_breakdown=breakdown,
-            l2_misses=total_l2m,
-            instructions=total_instr,
-            superstep_cycles=mean_step,
-            unit_cycles=mean_unit,
-            run_cycles=total_run,
-            reorder_cycles=reorder_cycles,
+        """Built :class:`AppTrace` for one (cell, root), store-memoized."""
+        return self.pipeline.app_trace(
+            app, app_name, dataset, technique_name, degree_kind, root
         )
 
-    # -- grids ---------------------------------------------------------------
+    # -- cells ---------------------------------------------------------------
+    def cell(self, app_name: str, dataset: str, technique_name: str) -> CellResult:
+        """Memoized counters for one grid cell (see module docstring)."""
+        return self.pipeline.cell(app_name, dataset, technique_name)
+
     def run_grid(
         self,
         apps: list[str],
@@ -346,76 +114,15 @@ class ExperimentRunner:
         """All cells of the (apps x datasets x techniques) cross-product.
 
         Results come back in cross-product order (apps outermost,
-        techniques innermost), identical to calling :meth:`cell` serially.
-        ``workers > 1`` fans the cells out over a
-        :class:`~concurrent.futures.ProcessPoolExecutor`; every worker
-        shares this runner's disk cache (safe: writes are atomic and
-        deterministic per key), so a parallel warm-up accelerates every
-        later serial run against the same cache.
-
-        With ``share_graphs`` (the default), the parent builds each
-        dataset analog an *uncached* cell needs exactly once, exports the
-        immutable CSR arrays to POSIX shared memory, and the workers map
-        them as zero-copy read-only ``Graph`` views instead of each
-        regenerating the same graphs (see
-        :mod:`repro.analysis.sharedgraph`).  Any shared-memory failure
-        falls back to per-worker regeneration; results are identical
-        either way.
+        techniques innermost), identical to calling :meth:`cell`
+        serially.  ``workers > 1`` fans the work out at *stage*
+        granularity over a process pool — see
+        :func:`repro.pipeline.grid.run_grid` for the phase plan and the
+        shared-memory graph transport.
         """
-        cells = list(itertools.product(apps, datasets, techniques))
-        if workers is None or workers <= 1:
-            return [self.cell(*spec) for spec in cells]
-        manifest = None
-        handles: list = []
-        if share_graphs:
-            handles, manifest = self._export_grid_graphs(cells)
-        try:
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_grid_worker_init,
-                initargs=(self.config, str(self.cache.directory), manifest),
-            ) as pool:
-                results = []
-                for result, profile_delta in pool.map(_grid_worker_cell, cells):
-                    # Fold each worker's per-cell stage timings into this
-                    # process's profiler, so the breakdown covers the whole
-                    # grid regardless of how the cells were distributed.
-                    PROFILER.merge(profile_delta)
-                    results.append(result)
-                return results
-        finally:
-            # The name disappears now; the OS frees the memory when the
-            # last worker mapping is gone (already, at this point).
-            sharedgraph.release_graphs(handles)
-
-    def _export_grid_graphs(self, cells: list[tuple]) -> tuple[list, dict | None]:
-        """Build + export the graphs uncached grid cells will need.
-
-        Only datasets with at least one cache-miss cell are generated
-        (a warm-cache grid costs a few metadata peeks, not a rebuild);
-        each needed (dataset, weighted) graph is built once, here in the
-        parent, under the usual ``generate`` profiler stage.  Returns
-        ``([], None)`` when nothing needs sharing or shared memory is
-        unavailable.
-        """
-        missing = [
-            spec for spec in cells if self.cache.get(self._cell_key(*spec)) is None
-        ]
-        if not missing:
-            return [], None
-        needed: dict[tuple, Graph] = {}
-        for app_name, dataset, _ in missing:
-            # Every cell touches the unweighted graph (roots, mappings);
-            # SSSP cells additionally trace the weighted variant.
-            needed[(dataset, False)] = None
-            if app_name == "SSSP":
-                needed[(dataset, True)] = None
-        try:
-            for dataset, weighted in needed:
-                needed[(dataset, weighted)] = self.graph(dataset, weighted)
-            return sharedgraph.export_graphs(needed)
-        except sharedgraph.SharedMemoryUnavailable:
-            return [], None
+        return _grid.run_grid(
+            self.pipeline, apps, datasets, techniques, workers, share_graphs
+        )
 
     # -- derived metrics -----------------------------------------------------
     def speedup(
@@ -438,32 +145,6 @@ class ExperimentRunner:
         if include_reorder:
             run += cell.reorder_cycles
         return (base_run / run - 1.0) * 100.0
-
-
-#: Per-process runner reused across the cells a grid worker receives, so
-#: graphs/plans/mappings computed for one cell amortize over its siblings.
-_WORKER_RUNNER: ExperimentRunner | None = None
-
-
-def _grid_worker_init(
-    config: ExperimentConfig, cache_dir: str, manifest: dict | None = None
-) -> None:
-    global _WORKER_RUNNER
-    _WORKER_RUNNER = ExperimentRunner(config, cache=DiskCache(cache_dir))
-    if manifest:
-        try:
-            _WORKER_RUNNER._graphs.update(sharedgraph.attach_graphs(manifest))
-        except sharedgraph.SharedMemoryUnavailable:
-            pass  # regenerate per worker, as before graph sharing
-
-
-def _grid_worker_cell(
-    spec: tuple[str, str, str],
-) -> tuple[CellResult, dict[str, StageStats]]:
-    assert _WORKER_RUNNER is not None, "worker used without initializer"
-    before = PROFILER.snapshot()
-    result = _WORKER_RUNNER.cell(*spec)
-    return result, diff_snapshots(PROFILER.snapshot(), before)
 
 
 def geomean_speedup(speedups_pct: list[float]) -> float:

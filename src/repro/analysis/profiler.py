@@ -1,137 +1,17 @@
-"""Per-cell pipeline stage profiler for the experiment engine.
+"""Compatibility shim: the stage profiler moved to :mod:`repro.pipeline.profiler`.
 
-Producing one grid cell walks a fixed pipeline — generate the dataset,
-compute the mapping, relabel the CSR, build the super-step trace, simulate
-it, convert counters to cycles.  Which stage dominates decides what is
-worth optimizing next (PR 1's compiled simulator moved the bottleneck from
-``simulate`` into ``trace``/``mapping``; this PR's trace kernels move it
-again), so :class:`ExperimentRunner` times every stage it executes against
-the process-global :data:`PROFILER`.
-
-Counters are process-local.  The parallel grid runner snapshots the
-profiler around each cell inside every worker and ships the per-cell
-deltas back with the result, so :meth:`ExperimentRunner.run_grid`
-aggregates one coherent breakdown no matter how the cells were
-distributed.  Cache hits count as (cheap) calls of the stage they
-short-circuit — a warm cache shows up as near-zero stage time, not as
-missing data.
+The profiler attaches to the stage graph as an execution hook, so it
+lives with the pipeline now.  This import path is kept because profiling
+is surfaced through the analysis CLI (``--profile``) and long-standing
+call sites import it from here.
 """
 
-from __future__ import annotations
+from repro.pipeline.profiler import (  # noqa: F401
+    PROFILER,
+    STAGES,
+    StageProfiler,
+    StageStats,
+    diff_snapshots,
+)
 
-import threading
-import time
-from contextlib import contextmanager
-from dataclasses import dataclass
-
-__all__ = [
-    "STAGES",
-    "StageStats",
-    "StageProfiler",
-    "PROFILER",
-    "diff_snapshots",
-]
-
-#: Pipeline stages in execution order (display order, too).
-STAGES = ("generate", "mapping", "relabel", "trace", "simulate", "model")
-
-
-@dataclass
-class StageStats:
-    """Accumulated wall time and call count for one stage."""
-
-    calls: int = 0
-    seconds: float = 0.0
-    #: Calls served from the disk cache instead of computed.
-    cache_hits: int = 0
-
-    def as_dict(self) -> dict:
-        return {
-            "calls": self.calls,
-            "seconds": self.seconds,
-            "cache_hits": self.cache_hits,
-        }
-
-
-class StageProfiler:
-    """Lock-guarded per-stage wall-time accumulators."""
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._stages: dict[str, StageStats] = {}
-
-    @contextmanager
-    def stage(self, name: str):
-        """Time a ``with`` block against stage ``name``."""
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.record(name, time.perf_counter() - start)
-
-    def record(
-        self, name: str, seconds: float, calls: int = 1, cache_hits: int = 0
-    ) -> None:
-        with self._lock:
-            stats = self._stages.setdefault(name, StageStats())
-            stats.calls += calls
-            stats.seconds += seconds
-            stats.cache_hits += cache_hits
-
-    def count_cache_hit(self, name: str) -> None:
-        """Mark one call of ``name`` as served from cache (no extra time)."""
-        self.record(name, 0.0, calls=0, cache_hits=1)
-
-    def snapshot(self) -> dict[str, StageStats]:
-        """Copy of the per-stage counters accumulated so far."""
-        with self._lock:
-            return {
-                name: StageStats(s.calls, s.seconds, s.cache_hits)
-                for name, s in self._stages.items()
-            }
-
-    def merge(self, delta: dict[str, StageStats]) -> None:
-        """Fold another snapshot (e.g. from a grid worker) into this one."""
-        for name, s in delta.items():
-            self.record(name, s.seconds, calls=s.calls, cache_hits=s.cache_hits)
-
-    def reset(self) -> None:
-        with self._lock:
-            self._stages.clear()
-
-    def format_snapshot(self, counters: dict[str, StageStats] | None = None) -> str:
-        """Human-readable breakdown, known stages first, heaviest visible."""
-        counters = self.snapshot() if counters is None else counters
-        if not counters:
-            return "pipeline: no stages recorded"
-        total = sum(s.seconds for s in counters.values())
-        names = [n for n in STAGES if n in counters]
-        names += sorted(n for n in counters if n not in STAGES)
-        lines = []
-        for name in names:
-            s = counters[name]
-            share = 100.0 * s.seconds / total if total > 0 else 0.0
-            hit = f", {s.cache_hits} cached" if s.cache_hits else ""
-            lines.append(
-                f"{name:>9}: {s.seconds:8.3f}s  {share:5.1f}%  ({s.calls} calls{hit})"
-            )
-        return "\n".join(lines)
-
-
-def diff_snapshots(
-    after: dict[str, StageStats], before: dict[str, StageStats]
-) -> dict[str, StageStats]:
-    """Per-stage difference ``after - before`` (for worker cell deltas)."""
-    delta: dict[str, StageStats] = {}
-    for name, s in after.items():
-        b = before.get(name, StageStats())
-        calls = s.calls - b.calls
-        seconds = s.seconds - b.seconds
-        hits = s.cache_hits - b.cache_hits
-        if calls or hits or seconds > 0:
-            delta[name] = StageStats(calls, seconds, hits)
-    return delta
-
-
-#: Process-global profiler the experiment engine records into.
-PROFILER = StageProfiler()
+__all__ = ["STAGES", "StageStats", "StageProfiler", "PROFILER", "diff_snapshots"]

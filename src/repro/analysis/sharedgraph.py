@@ -1,36 +1,15 @@
-"""Zero-copy :class:`Graph` transport to grid workers via shared memory.
+"""Compatibility shim: graph transport moved to :mod:`repro.pipeline.sharedgraph`.
 
-The parallel grid runner fans (app, dataset, technique) cells across a
-``ProcessPoolExecutor``.  Before this module, every worker process
-re-derived every dataset analog it touched from scratch — the same
-generator output, CSR build and validation repeated ``workers`` times.
-Graphs are immutable numpy-array bundles, which makes them ideal for
-POSIX shared memory: the parent packs each graph's arrays into one
-``multiprocessing.shared_memory`` segment, workers map the segment and
-wrap *read-only zero-copy views* back into ``Graph`` objects (via the
-trusted constructor — the arrays were validated once, in the parent).
-
-Lifecycle ("refcounted cleanup"): the parent creates and therefore owns
-every segment; after the pool shuts down it closes its mapping and
-unlinks the name.  POSIX shm refcounts mappings, so the memory itself
-is freed only when the last worker's mapping disappears with its
-process — unlink-after-pool-exit is safe even against stragglers.
-Workers deliberately never unlink or explicitly close: their attach-time
-``resource_tracker`` registration lands in the tracker the pool children
-inherit from the parent (a set, so it is idempotent), and the parent's
-single ``unlink`` retires the entry exactly once.
-
-Everything degrades gracefully: any failure to create, write or attach
-segments (no ``/dev/shm``, size limits, platforms without POSIX shm)
-raises :class:`SharedMemoryUnavailable`, and the grid runner falls back
-to the historical per-worker regeneration path.
+The shared-memory transport attaches to the grid scheduler as a worker
+initialization hook, so it lives with the pipeline now.
 """
 
-from __future__ import annotations
-
-import numpy as np
-
-from repro.graph.csr import Graph
+from repro.pipeline.sharedgraph import (  # noqa: F401
+    SharedMemoryUnavailable,
+    attach_graphs,
+    export_graphs,
+    release_graphs,
+)
 
 __all__ = [
     "SharedMemoryUnavailable",
@@ -38,129 +17,3 @@ __all__ = [
     "attach_graphs",
     "release_graphs",
 ]
-
-#: Segment-name prefix (suffix is randomized by SharedMemory itself).
-_ALIGN = 16
-
-#: Graph array fields shipped per segment, in packing order.  Weight
-#: arrays are present only for weighted graphs.
-_FIELDS = ("out_offsets", "out_targets", "in_offsets", "in_sources")
-_WEIGHT_FIELDS = ("out_weights", "in_weights")
-
-
-class SharedMemoryUnavailable(RuntimeError):
-    """Shared-memory transport cannot be used in this environment."""
-
-
-#: Segments attached by this (worker) process, kept referenced so their
-#: mappings outlive every Graph view handed out; released with the
-#: process (the parent owns the unlink).
-_ATTACHED: list = []
-
-
-def _aligned(offset: int) -> int:
-    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
-
-
-def _graph_fields(graph: Graph) -> list[tuple[str, np.ndarray]]:
-    fields = [(name, getattr(graph, name)) for name in _FIELDS]
-    if graph.is_weighted:
-        fields += [(name, getattr(graph, name)) for name in _WEIGHT_FIELDS]
-    return fields
-
-
-def export_graphs(graphs: dict) -> tuple[list, dict]:
-    """Pack each graph into one shared-memory segment.
-
-    Returns ``(handles, manifest)``: the parent-owned ``SharedMemory``
-    handles (pass to :func:`release_graphs` when the pool is done) and a
-    picklable manifest ``{key: segment description}`` for worker
-    initializers.  Raises :class:`SharedMemoryUnavailable` on any
-    failure, after releasing whatever was already created.
-    """
-    try:
-        from multiprocessing import shared_memory
-    except ImportError as exc:  # pragma: no cover - always present on Linux
-        raise SharedMemoryUnavailable(str(exc)) from exc
-
-    handles: list = []
-    manifest: dict = {}
-    try:
-        for key, graph in graphs.items():
-            fields = _graph_fields(graph)
-            layout = []
-            offset = 0
-            for name, arr in fields:
-                arr = np.ascontiguousarray(arr)
-                offset = _aligned(offset)
-                layout.append((name, arr, offset))
-                offset += arr.nbytes
-            shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
-            handles.append(shm)
-            spec = {"segment": shm.name, "arrays": {}}
-            for name, arr, start in layout:
-                view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf[start:])
-                view[...] = arr
-                spec["arrays"][name] = (start, arr.shape, arr.dtype.str)
-                del view
-            manifest[key] = spec
-    except Exception as exc:
-        release_graphs(handles)
-        raise SharedMemoryUnavailable(
-            f"could not export graphs to shared memory: {exc}"
-        ) from exc
-    return handles, manifest
-
-
-def attach_graphs(manifest: dict) -> dict:
-    """Rebuild zero-copy ``Graph`` views from an export manifest.
-
-    Returns ``{key: Graph}`` with every array a read-only view of the
-    parent's segment.  Raises :class:`SharedMemoryUnavailable` when the
-    segments cannot be mapped (caller falls back to regeneration).
-    """
-    try:
-        from multiprocessing import shared_memory
-    except ImportError as exc:  # pragma: no cover - always present on Linux
-        raise SharedMemoryUnavailable(str(exc)) from exc
-
-    graphs = {}
-    try:
-        for key, spec in manifest.items():
-            shm = shared_memory.SharedMemory(name=spec["segment"])
-            _ATTACHED.append(shm)
-            arrays = {}
-            for name, (start, shape, dtype) in spec["arrays"].items():
-                view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf[start:])
-                view.flags.writeable = False
-                arrays[name] = view
-            graphs[key] = Graph._from_kernel_arrays(
-                arrays["out_offsets"],
-                arrays["out_targets"],
-                arrays["in_offsets"],
-                arrays["in_sources"],
-                arrays.get("out_weights"),
-                arrays.get("in_weights"),
-            )
-    except Exception as exc:
-        raise SharedMemoryUnavailable(
-            f"could not attach shared graph segments: {exc}"
-        ) from exc
-    return graphs
-
-
-def release_graphs(handles: list) -> None:
-    """Close and unlink parent-owned segments (idempotent, best-effort).
-
-    The OS frees each segment once the last worker mapping goes away;
-    unlinking here only removes the name.
-    """
-    for shm in handles:
-        try:
-            shm.close()
-        except OSError:
-            pass
-        try:
-            shm.unlink()
-        except (FileNotFoundError, OSError):
-            pass

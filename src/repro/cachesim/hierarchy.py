@@ -22,7 +22,6 @@ configurable through :class:`HierarchyConfig`.
 
 from __future__ import annotations
 
-import os
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -148,13 +147,14 @@ class CacheStats:
 def resolve_engine(
     engine: str | None = None, config: HierarchyConfig | None = None
 ) -> str:
-    """Pick the engine: explicit arg > ``REPRO_SIM_ENGINE`` > config > auto."""
-    choice = engine or os.environ.get("REPRO_SIM_ENGINE") or (
-        config.engine if config is not None else "auto"
-    )
-    if choice not in ENGINES:
-        raise ValueError(f"unknown simulation engine {choice!r}; known: {ENGINES}")
-    return choice
+    """Pick the engine: explicit arg > ``REPRO_SIM_ENGINE`` > config > auto.
+
+    Delegates to the unified registry (:func:`repro.engines.resolve`,
+    domain ``"sim"``); unknown values raise, never fall back silently.
+    """
+    from repro import engines
+
+    return engines.resolve("sim", engine, config.engine if config is not None else None)
 
 
 def simulate_trace(

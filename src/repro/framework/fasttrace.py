@@ -26,7 +26,6 @@ selectable per call and campaign-wide via ``REPRO_TRACE_ENGINE``.
 from __future__ import annotations
 
 import ctypes
-import os
 from pathlib import Path
 
 import numpy as np
@@ -86,13 +85,14 @@ _KERNEL = LazyKernel(
 
 
 def resolve_trace_engine(engine: str | None = None) -> str:
-    """Pick the engine: explicit arg > ``REPRO_TRACE_ENGINE`` > auto."""
-    choice = engine or os.environ.get("REPRO_TRACE_ENGINE") or "auto"
-    if choice not in TRACE_ENGINES:
-        raise ValueError(
-            f"unknown trace engine {choice!r}; known: {TRACE_ENGINES}"
-        )
-    return choice
+    """Pick the engine: explicit arg > ``REPRO_TRACE_ENGINE`` > auto.
+
+    Delegates to the unified registry (:func:`repro.engines.resolve`,
+    domain ``"trace"``); unknown values raise, never fall back silently.
+    """
+    from repro import engines
+
+    return engines.resolve("trace", engine)
 
 
 def fast_available() -> bool:

@@ -32,7 +32,6 @@ can dispatch to it without a circular import.
 from __future__ import annotations
 
 import ctypes
-import os
 from pathlib import Path
 
 import numpy as np
@@ -76,13 +75,14 @@ _KERNEL = LazyKernel(
 
 
 def resolve_graph_engine(engine: str | None = None) -> str:
-    """Pick the engine: explicit arg > ``REPRO_GRAPH_ENGINE`` > auto."""
-    choice = engine or os.environ.get("REPRO_GRAPH_ENGINE") or "auto"
-    if choice not in GRAPH_ENGINES:
-        raise ValueError(
-            f"unknown graph engine {choice!r}; known: {GRAPH_ENGINES}"
-        )
-    return choice
+    """Pick the engine: explicit arg > ``REPRO_GRAPH_ENGINE`` > auto.
+
+    Delegates to the unified registry (:func:`repro.engines.resolve`,
+    domain ``"graph"``); unknown values raise, never fall back silently.
+    """
+    from repro import engines
+
+    return engines.resolve("graph", engine)
 
 
 def fast_available() -> bool:

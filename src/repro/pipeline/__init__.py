@@ -1,0 +1,69 @@
+"""Stage-graph experiment pipeline over a content-addressed artifact store.
+
+The package splits what used to be one monolithic experiment runner into
+four orthogonal layers:
+
+* :mod:`repro.pipeline.store` — :class:`ArtifactStore`: atomic,
+  schema-versioned, corruption-tolerant persistence with per-kind
+  hit/miss/byte statistics and GC (the ``repro-cache`` CLI sits on top);
+* :mod:`repro.pipeline.stages` — the declarative stage DAG
+  (:data:`PIPELINE`) plus the key builders every producer and consumer
+  shares;
+* :mod:`repro.pipeline.cells` — :class:`CellPipeline`, which executes
+  the stage graph for one experiment configuration;
+* :mod:`repro.pipeline.grid` — :func:`run_grid`, the stage-granular
+  parallel scheduler (each unique mapping/trace computed exactly once
+  across all cells and workers).
+
+:class:`repro.analysis.experiments.ExperimentRunner` remains the
+user-facing facade and delegates everything here.
+"""
+
+from repro.pipeline.cells import (
+    PAPER_TRAVERSALS,
+    ROOT_APPS,
+    CellPipeline,
+    CellResult,
+    ExperimentConfig,
+)
+from repro.pipeline.grid import plan_stage_jobs, run_grid
+from repro.pipeline.stages import (
+    PIPELINE,
+    StageGraph,
+    StageSpec,
+    cell_key,
+    mapping_key,
+    trace_key,
+)
+from repro.pipeline.store import (
+    SCHEMA_VERSION,
+    ArtifactInfo,
+    ArtifactStore,
+    KindStats,
+    StoreStats,
+    default_store_dir,
+    diff_store_snapshots,
+)
+
+__all__ = [
+    "ArtifactInfo",
+    "ArtifactStore",
+    "CellPipeline",
+    "CellResult",
+    "ExperimentConfig",
+    "KindStats",
+    "PAPER_TRAVERSALS",
+    "PIPELINE",
+    "ROOT_APPS",
+    "SCHEMA_VERSION",
+    "StageGraph",
+    "StageSpec",
+    "StoreStats",
+    "cell_key",
+    "default_store_dir",
+    "diff_store_snapshots",
+    "mapping_key",
+    "plan_stage_jobs",
+    "run_grid",
+    "trace_key",
+]

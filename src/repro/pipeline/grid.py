@@ -1,0 +1,219 @@
+"""Stage-granular scheduling of experiment grids.
+
+:func:`run_grid` produces every cell of an (apps x datasets x
+techniques) cross-product.  Serially that is just :meth:`CellPipeline.cell`
+in a loop; with ``workers > 1`` the scheduler plans work at *stage*
+granularity instead of handing whole cells to the pool:
+
+1. **Plan** — peek the artifact store (by path, no payload reads) for
+   cells whose results are missing, then derive the deduplicated sets of
+   mapping artifacts ``(dataset, technique)`` and trace artifacts
+   ``(app, dataset, technique, root)`` those cells will need.
+2. **Share** — build each dataset analog the missing cells touch once,
+   in the parent, and export the immutable CSR arrays to POSIX shared
+   memory; workers attach zero-copy views through the pipeline's
+   :meth:`~repro.pipeline.cells.CellPipeline.seed_graphs` hook (any
+   shared-memory failure degrades to per-worker regeneration).
+3. **Execute** — run the mapping phase, then the trace phase, then the
+   cell phase over one ``ProcessPoolExecutor``.  Because every artifact
+   in a phase is scheduled exactly once (and earlier phases publish the
+   artifacts later phases consume), each unique mapping and trace is
+   *computed* exactly once across all cells and workers — the historical
+   cell-granular fan-out recomputed a shared mapping/trace in every
+   worker that happened to need it before a sibling published it.
+
+Workers return their stage-profiler and store-statistics deltas with
+each job; the parent folds both into its own accumulators, so a grid
+reports one coherent timing breakdown and one "was anything recomputed?"
+answer regardless of how stages were distributed.  Results come back in
+cross-product order (apps outermost, techniques innermost), identical to
+the serial loop.
+"""
+
+from __future__ import annotations
+
+import itertools
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.pipeline import sharedgraph
+from repro.pipeline.profiler import PROFILER, diff_snapshots
+from repro.pipeline.cells import ROOT_APPS, CellPipeline, CellResult, ExperimentConfig
+from repro.pipeline.stages import PIPELINE
+from repro.pipeline.store import ArtifactStore, diff_store_snapshots
+
+__all__ = ["run_grid", "plan_stage_jobs"]
+
+
+def plan_stage_jobs(
+    pipeline: CellPipeline, cells: list[tuple[str, str, str]]
+) -> tuple[list[tuple], list[tuple], list[tuple]]:
+    """Derive the deduplicated stage jobs an uncached grid needs.
+
+    Returns ``(missing_cells, mapping_jobs, trace_jobs)`` where
+    ``mapping_jobs`` are ``(dataset, technique, degree_kind)`` and
+    ``trace_jobs`` are ``(app, dataset, technique, root)`` — one job per
+    *unique artifact address* not yet in the store.  Peeks use path
+    existence only, so planning never perturbs the store statistics the
+    exactly-once accounting is judged by.
+    """
+    store = pipeline.store
+    missing = [
+        spec
+        for spec in cells
+        if not store.path_for("cell", pipeline.cell_store_key(*spec)).exists()
+    ]
+    mapping_jobs: list[tuple] = []
+    trace_jobs: list[tuple] = []
+    seen_mappings: set = set()
+    seen_traces: set = set()
+    for app_name, dataset, technique_name in missing:
+        degree_kind = pipeline.degree_kind_for(app_name, technique_name)
+        if technique_name != "Original":
+            mkey = pipeline.mapping_store_key(dataset, technique_name, degree_kind)
+            if mkey not in seen_mappings:
+                seen_mappings.add(mkey)
+                if not store.path_for("mapping", mkey).exists():
+                    mapping_jobs.append((dataset, technique_name, degree_kind))
+        roots = pipeline.roots(dataset) if app_name in ROOT_APPS else [None]
+        for root in roots:
+            tkey = pipeline.trace_store_key(
+                app_name, dataset, technique_name, degree_kind, root
+            )
+            if tkey not in seen_traces:
+                seen_traces.add(tkey)
+                if not store.path_for("trace", tkey).exists():
+                    trace_jobs.append((app_name, dataset, technique_name, root))
+    return missing, mapping_jobs, trace_jobs
+
+
+def _export_grid_graphs(
+    pipeline: CellPipeline, missing: list[tuple]
+) -> tuple[list, dict | None]:
+    """Build + export the graphs the store-missing cells will need.
+
+    Each needed (dataset, weighted) graph is built once, here in the
+    parent, under the usual ``generate`` profiler stage.  Returns
+    ``([], None)`` when nothing needs sharing or shared memory is
+    unavailable.
+    """
+    if not missing:
+        return [], None
+    needed: dict[tuple, object] = {}
+    for app_name, dataset, _ in missing:
+        # Every cell touches the unweighted graph (roots, mappings);
+        # SSSP cells additionally trace the weighted variant.
+        needed[(dataset, False)] = None
+        if app_name == "SSSP":
+            needed[(dataset, True)] = None
+    try:
+        for dataset, weighted in needed:
+            needed[(dataset, weighted)] = pipeline.graph(dataset, weighted)
+        return sharedgraph.export_graphs(needed)
+    except sharedgraph.SharedMemoryUnavailable:
+        return [], None
+
+
+def run_grid(
+    pipeline: CellPipeline,
+    apps: list[str],
+    datasets: list[str],
+    techniques: list[str],
+    workers: int | None = None,
+    share_graphs: bool = True,
+) -> list[CellResult]:
+    """All cells of the cross-product, scheduled at stage granularity.
+
+    See the module docstring for the parallel phase plan.  Every worker
+    shares the pipeline's artifact store (safe: writes are atomic and
+    deterministic per key), so a parallel warm-up accelerates every
+    later serial run against the same store.
+    """
+    # Fail fast on misconfigured engine env vars — before any graph is
+    # built or worker spawned, not mid-campaign in a worker traceback.
+    PIPELINE.validate_engines()
+    cells = list(itertools.product(apps, datasets, techniques))
+    if workers is None or workers <= 1:
+        return [pipeline.cell(*spec) for spec in cells]
+    missing, mapping_jobs, trace_jobs = plan_stage_jobs(pipeline, cells)
+    manifest = None
+    handles: list = []
+    if share_graphs:
+        handles, manifest = _export_grid_graphs(pipeline, missing)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=(pipeline.config, str(pipeline.store.directory), manifest),
+        ) as pool:
+            # Phase barriers are what make "exactly once" true: a phase's
+            # artifacts are all published before any consumer starts.
+            for deltas in pool.map(_worker_mapping, mapping_jobs):
+                _merge_deltas(pipeline, deltas)
+            for deltas in pool.map(_worker_trace, trace_jobs):
+                _merge_deltas(pipeline, deltas)
+            results = []
+            for result, *deltas in pool.map(_worker_cell, cells):
+                _merge_deltas(pipeline, deltas)
+                results.append(result)
+            return results
+    finally:
+        # The name disappears now; the OS frees the memory when the
+        # last worker mapping is gone (already, at this point).
+        sharedgraph.release_graphs(handles)
+
+
+def _merge_deltas(pipeline: CellPipeline, deltas: tuple) -> None:
+    """Fold one worker job's (profiler, store-stats) deltas into the parent.
+
+    Keeps the grid's stage-timing breakdown and hit/miss accounting
+    coherent regardless of how jobs were distributed across processes.
+    """
+    profile_delta, store_delta = deltas
+    PROFILER.merge(profile_delta)
+    pipeline.store.stats.merge(store_delta)
+
+
+#: Per-process pipeline reused across the jobs a grid worker receives, so
+#: graphs/plans/mappings loaded for one job amortize over its siblings.
+_WORKER: CellPipeline | None = None
+
+
+def _worker_init(
+    config: ExperimentConfig, store_dir: str, manifest: dict | None = None
+) -> None:
+    global _WORKER
+    _WORKER = CellPipeline(config, store=ArtifactStore(store_dir))
+    if manifest:
+        try:
+            _WORKER.seed_graphs(sharedgraph.attach_graphs(manifest))
+        except sharedgraph.SharedMemoryUnavailable:
+            pass  # regenerate per worker, as before graph sharing
+
+
+def _job_deltas(before_profile, before_store) -> tuple:
+    assert _WORKER is not None
+    return (
+        diff_snapshots(PROFILER.snapshot(), before_profile),
+        diff_store_snapshots(_WORKER.store.stats.snapshot(), before_store),
+    )
+
+
+def _worker_mapping(job: tuple) -> tuple:
+    assert _WORKER is not None, "worker used without initializer"
+    before = (PROFILER.snapshot(), _WORKER.store.stats.snapshot())
+    _WORKER.compute_mapping_stage(*job)
+    return _job_deltas(*before)
+
+
+def _worker_trace(job: tuple) -> tuple:
+    assert _WORKER is not None, "worker used without initializer"
+    before = (PROFILER.snapshot(), _WORKER.store.stats.snapshot())
+    _WORKER.compute_trace_stage(*job)
+    return _job_deltas(*before)
+
+
+def _worker_cell(spec: tuple[str, str, str]) -> tuple:
+    assert _WORKER is not None, "worker used without initializer"
+    before = (PROFILER.snapshot(), _WORKER.store.stats.snapshot())
+    result = _WORKER.cell(*spec)
+    return (result, *_job_deltas(*before))

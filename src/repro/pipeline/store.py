@@ -1,0 +1,349 @@
+"""The unified content-addressed artifact store behind the pipeline.
+
+Every persisted intermediate of the experiment pipeline — reordering
+mappings, built application traces, finished cell results — lives in one
+:class:`ArtifactStore` instead of the historical trio of mechanisms (the
+keyed ``DiskCache``, the bespoke ``AppTrace`` memoization inside the
+experiment runner, and per-runner in-memory caches).  One store means
+one addressing scheme, one atomicity story, one statistics surface and
+one CLI (``repro-cache``) for the whole grid.
+
+Addressing
+----------
+An artifact is identified by a *kind* (the pipeline stage family that
+produces it: ``"mapping"``, ``"trace"``, ``"cell"``) plus an arbitrary
+repr-able *key*.  The on-disk name is ``{kind}-{sha256(key)[:32]}.pkl``
+with :data:`SCHEMA_VERSION` folded into the hash, so
+
+* two processes computing the same stage derive the same path and
+  last-write-win with identical content;
+* bumping the schema version makes *every* stale artifact miss cleanly —
+  files written by older formats are simply never addressed, instead of
+  surfacing unpickle or shape errors mid-campaign.
+
+Durability
+----------
+Writes go to a uniquely named temp file in the store directory and are
+published with an atomic ``os.replace``; readers never observe partial
+pickles.  Every payload travels in a small envelope carrying its schema
+version and kind — a file that fails to unpickle, decodes to a foreign
+object, or carries the wrong schema/kind is *quarantined* (moved under
+``quarantine/``) and reported as a miss, so the slot is recomputed and
+the evidence kept for inspection.
+
+Statistics and GC
+-----------------
+The store counts hits / misses / stores / quarantines and bytes moved,
+per kind (:class:`StoreStats`).  The parallel grid scheduler ships each
+worker's deltas back to the parent, so a grid reports one coherent
+"was anything recomputed?" answer no matter how stages were distributed
+— CI's warm-grid job asserts zero recomputes this way.  :meth:`ArtifactStore.gc`
+evicts oldest-first down to a byte budget; ``repro-cache`` exposes
+``ls`` / ``stats`` / ``gc`` / ``clear`` over all of it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import re
+import struct
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "KindStats",
+    "StoreStats",
+    "diff_store_snapshots",
+    "ArtifactInfo",
+    "ArtifactStore",
+    "default_store_dir",
+]
+
+#: Folded into every artifact address; bump whenever a change invalidates
+#: previously persisted artifacts (continues the old DiskCache lineage).
+SCHEMA_VERSION = 10
+
+#: On-disk artifact name: ``{kind}-{digest}.pkl``.
+_ARTIFACT_RE = re.compile(r"^([a-z][a-z0-9_]*)-([0-9a-f]{32})\.pkl$")
+_KIND_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+#: Everything that can surface when unpickling a damaged or alien file.
+_CORRUPT_ERRORS = (
+    OSError,
+    pickle.UnpicklingError,
+    EOFError,
+    AttributeError,
+    ImportError,
+    IndexError,
+    KeyError,
+    MemoryError,
+    ValueError,
+    struct.error,
+)
+
+
+def default_store_dir() -> Path:
+    """Resolve the store directory (env override, else repo-local)."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.cwd() / ".repro_cache"
+
+
+@dataclass
+class KindStats:
+    """Store activity counters for one artifact kind."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    quarantined: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "quarantined": self.quarantined,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+        }
+
+
+class StoreStats:
+    """Lock-guarded per-kind :class:`KindStats` accumulators.
+
+    Counters are process-local; the grid scheduler snapshots them around
+    each worker job and merges the deltas into the parent's store, the
+    same way the stage profiler aggregates timings.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._kinds: dict[str, KindStats] = {}
+
+    def _bump(self, kind: str, **deltas: int) -> None:
+        with self._lock:
+            stats = self._kinds.setdefault(kind, KindStats())
+            for name, delta in deltas.items():
+                setattr(stats, name, getattr(stats, name) + delta)
+
+    def record_hit(self, kind: str, nbytes: int) -> None:
+        self._bump(kind, hits=1, bytes_read=nbytes)
+
+    def record_miss(self, kind: str) -> None:
+        self._bump(kind, misses=1)
+
+    def record_store(self, kind: str, nbytes: int) -> None:
+        self._bump(kind, stores=1, bytes_written=nbytes)
+
+    def record_quarantine(self, kind: str) -> None:
+        self._bump(kind, quarantined=1)
+
+    def snapshot(self) -> dict[str, KindStats]:
+        """Copy of the per-kind counters accumulated so far."""
+        with self._lock:
+            return {kind: KindStats(**s.as_dict()) for kind, s in self._kinds.items()}
+
+    def merge(self, delta: dict[str, KindStats]) -> None:
+        """Fold another snapshot (e.g. from a grid worker) into this one."""
+        for kind, s in delta.items():
+            self._bump(kind, **s.as_dict())
+
+    def reset(self) -> None:
+        with self._lock:
+            self._kinds.clear()
+
+    def as_dict(self) -> dict:
+        return {kind: s.as_dict() for kind, s in sorted(self.snapshot().items())}
+
+
+def diff_store_snapshots(
+    after: dict[str, KindStats], before: dict[str, KindStats]
+) -> dict[str, KindStats]:
+    """Per-kind difference ``after - before`` (for worker job deltas)."""
+    delta: dict[str, KindStats] = {}
+    for kind, s in after.items():
+        b = before.get(kind, KindStats())
+        fields = {
+            name: value - getattr(b, name) for name, value in s.as_dict().items()
+        }
+        if any(fields.values()):
+            delta[kind] = KindStats(**fields)
+    return delta
+
+
+@dataclass(frozen=True)
+class ArtifactInfo:
+    """Directory-listing entry for one on-disk artifact."""
+
+    path: Path
+    kind: str  #: parsed from the filename; ``"(legacy)"`` for foreign files
+    nbytes: int
+    mtime: float
+
+
+class ArtifactStore:
+    """Atomic, schema-versioned, corruption-tolerant artifact storage."""
+
+    def __init__(self, directory: Path | str | None = None) -> None:
+        self.directory = Path(directory) if directory else default_store_dir()
+        self.stats = StoreStats()
+
+    # -- addressing ----------------------------------------------------------
+    def path_for(self, kind: str, key: object) -> Path:
+        """Deterministic content address of ``(kind, key)``."""
+        if not _KIND_RE.match(kind):
+            raise ValueError(f"bad artifact kind {kind!r} (want [a-z][a-z0-9_]*)")
+        digest = hashlib.sha256(
+            repr((SCHEMA_VERSION, kind, key)).encode()
+        ).hexdigest()[:32]
+        return self.directory / f"{kind}-{digest}.pkl"
+
+    # -- get/put -------------------------------------------------------------
+    def get(self, kind: str, key: object):
+        """Return the stored value, or ``None`` (quarantining bad files)."""
+        path = self.path_for(kind, key)
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except FileNotFoundError:
+            self.stats.record_miss(kind)
+            return None
+        except OSError:
+            self.stats.record_miss(kind)
+            return None
+        try:
+            envelope = pickle.loads(raw)
+            if (
+                not isinstance(envelope, dict)
+                or envelope.get("schema") != SCHEMA_VERSION
+                or envelope.get("kind") != kind
+                or "value" not in envelope
+            ):
+                raise pickle.UnpicklingError("not a current-schema artifact envelope")
+        except _CORRUPT_ERRORS:
+            # Truncated, garbage, or older-format payload: quarantine it so
+            # the slot is recomputed cleanly and the evidence is kept.
+            self._quarantine(path)
+            self.stats.record_quarantine(kind)
+            self.stats.record_miss(kind)
+            return None
+        self.stats.record_hit(kind, len(raw))
+        return envelope["value"]
+
+    def put(self, kind: str, key: object, value) -> Path:
+        """Store a value (unique temp + atomic rename; race-safe)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(kind, key)
+        payload = pickle.dumps(
+            {"schema": SCHEMA_VERSION, "kind": kind, "value": value},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        tmp = path.with_name(f".{path.stem}.{os.getpid()}.{os.urandom(4).hex()}.tmp")
+        try:
+            with open(tmp, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        self.stats.record_store(kind, len(payload))
+        return path
+
+    def memoize(self, kind: str, key: object, compute):
+        """Return the stored value for the slot or compute, store, return."""
+        hit = self.get(kind, key)
+        if hit is not None:
+            return hit
+        value = compute()
+        self.put(kind, key, value)
+        return value
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a bad file out of the addressable namespace (best-effort)."""
+        target_dir = self.directory / "quarantine"
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target_dir / path.name)
+        except OSError:
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+    # -- maintenance ---------------------------------------------------------
+    def ls(self) -> list[ArtifactInfo]:
+        """All files in the store, newest first; foreign files as legacy."""
+        entries: list[ArtifactInfo] = []
+        if not self.directory.is_dir():
+            return entries
+        for path in self.directory.iterdir():
+            if not path.is_file():
+                continue
+            match = _ARTIFACT_RE.match(path.name)
+            kind = match.group(1) if match else "(legacy)"
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append(ArtifactInfo(path, kind, stat.st_size, stat.st_mtime))
+        entries.sort(key=lambda e: e.mtime, reverse=True)
+        return entries
+
+    def total_bytes(self) -> int:
+        return sum(info.nbytes for info in self.ls())
+
+    def gc(self, max_bytes: int) -> dict:
+        """Evict artifacts, oldest first, until at most ``max_bytes`` remain.
+
+        Quarantined and legacy/foreign files are removed unconditionally —
+        they can never be addressed again.  Returns a summary dict.
+        """
+        removed = 0
+        freed = 0
+        quarantine = self.directory / "quarantine"
+        if quarantine.is_dir():
+            for path in quarantine.iterdir():
+                try:
+                    size = path.stat().st_size
+                    path.unlink()
+                    removed += 1
+                    freed += size
+                except OSError:
+                    pass
+            try:
+                quarantine.rmdir()
+            except OSError:
+                pass
+        entries = self.ls()
+        for info in [e for e in entries if e.kind == "(legacy)"]:
+            try:
+                info.path.unlink()
+                removed += 1
+                freed += info.nbytes
+                entries.remove(info)
+            except OSError:
+                pass
+        total = sum(e.nbytes for e in entries)
+        for info in sorted(entries, key=lambda e: e.mtime):  # oldest first
+            if total <= max_bytes:
+                break
+            try:
+                info.path.unlink()
+                removed += 1
+                freed += info.nbytes
+                total -= info.nbytes
+            except OSError:
+                pass
+        return {"removed": removed, "freed_bytes": freed, "remaining_bytes": total}
+
+    def clear(self) -> int:
+        """Remove every artifact (and the quarantine); returns files removed."""
+        summary = self.gc(max_bytes=0)
+        return summary["removed"]

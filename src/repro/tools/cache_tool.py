@@ -1,0 +1,148 @@
+"""``repro-cache`` — inspect and maintain the experiment artifact store.
+
+The store (:class:`repro.pipeline.store.ArtifactStore`) holds every
+persisted stage output of the experiment pipeline: reordering mappings,
+built application traces and finished cell results, each a small
+content-addressed pickle.  Subcommands::
+
+    repro-cache ls                  # every artifact, newest first
+    repro-cache stats               # per-kind totals + quarantine
+    repro-cache gc --max-bytes 1G   # evict oldest-first to a budget
+    repro-cache clear               # remove everything
+
+All subcommands accept ``--dir`` to target a specific store directory;
+the default is ``$REPRO_CACHE_DIR`` or ``./.repro_cache`` — the same
+resolution the experiment runner uses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.pipeline.store import ArtifactStore, SCHEMA_VERSION, default_store_dir
+
+__all__ = ["main", "parse_size"]
+
+_SIZE_SUFFIXES = {"k": 1024, "m": 1024**2, "g": 1024**3, "t": 1024**4}
+
+
+def parse_size(text: str) -> int:
+    """Parse a byte budget: plain int or K/M/G/T-suffixed (binary units)."""
+    raw = text.strip().lower().removesuffix("b")
+    if raw and raw[-1] in _SIZE_SUFFIXES:
+        factor = _SIZE_SUFFIXES[raw[-1]]
+        raw = raw[:-1]
+    else:
+        factor = 1
+    try:
+        value = float(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad size {text!r} (want e.g. 500000, 64K, 1.5G)"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError("size must be non-negative")
+    return int(value * factor)
+
+
+def _human(nbytes: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(nbytes) < 1024 or unit == "GiB":
+            return f"{nbytes:.1f}{unit}" if unit != "B" else f"{int(nbytes)}B"
+        nbytes /= 1024
+    return f"{nbytes:.1f}GiB"  # pragma: no cover - loop always returns
+
+
+def _cmd_ls(store: ArtifactStore) -> int:
+    entries = store.ls()
+    if not entries:
+        print(f"{store.directory}: empty")
+        return 0
+    for info in entries:
+        stamp = time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(info.mtime))
+        print(f"{stamp}  {_human(info.nbytes):>10}  {info.kind:<10} {info.path.name}")
+    print(f"total: {len(entries)} artifacts, {_human(store.total_bytes())}")
+    return 0
+
+
+def _cmd_stats(store: ArtifactStore) -> int:
+    entries = store.ls()
+    by_kind: dict[str, list[int]] = {}
+    for info in entries:
+        by_kind.setdefault(info.kind, []).append(info.nbytes)
+    print(f"store:          {store.directory}")
+    print(f"schema version: {SCHEMA_VERSION}")
+    for kind in sorted(by_kind):
+        sizes = by_kind[kind]
+        print(f"  {kind:<10} {len(sizes):>6} artifacts  {_human(sum(sizes)):>10}")
+    quarantine = store.directory / "quarantine"
+    quarantined = (
+        sum(1 for p in quarantine.iterdir() if p.is_file())
+        if quarantine.is_dir()
+        else 0
+    )
+    print(f"  quarantined {quarantined:>5} files")
+    print(f"  total      {len(entries):>6} artifacts  {_human(store.total_bytes()):>10}")
+    return 0
+
+
+def _cmd_gc(store: ArtifactStore, max_bytes: int) -> int:
+    summary = store.gc(max_bytes)
+    print(
+        f"removed {summary['removed']} files, freed {_human(summary['freed_bytes'])}, "
+        f"{_human(summary['remaining_bytes'])} remaining"
+    )
+    return 0
+
+
+def _cmd_clear(store: ArtifactStore) -> int:
+    removed = store.clear()
+    print(f"removed {removed} files from {store.directory}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-cache",
+        description="Inspect and maintain the experiment artifact store.",
+    )
+    parser.add_argument(
+        "--dir",
+        default=None,
+        help="store directory (default: $REPRO_CACHE_DIR or ./.repro_cache)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("ls", help="list artifacts, newest first")
+    sub.add_parser("stats", help="per-kind artifact counts and sizes")
+    gc = sub.add_parser("gc", help="evict artifacts, oldest first, to a byte budget")
+    gc.add_argument(
+        "--max-bytes",
+        type=parse_size,
+        required=True,
+        help="byte budget to shrink the store to (accepts K/M/G suffixes)",
+    )
+    sub.add_parser("clear", help="remove every artifact")
+    args = parser.parse_args(argv)
+
+    store = ArtifactStore(args.dir or default_store_dir())
+    try:
+        if args.command == "ls":
+            return _cmd_ls(store)
+        if args.command == "stats":
+            return _cmd_stats(store)
+        if args.command == "gc":
+            return _cmd_gc(store, args.max_bytes)
+        return _cmd_clear(store)
+    except BrokenPipeError:
+        # Downstream pager/head closed early (`repro-cache ls | head`);
+        # detach stdout so the interpreter's exit flush stays quiet.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -3,14 +3,14 @@
 import pytest
 
 from repro.analysis import ablations
-from repro.analysis.diskcache import DiskCache
+from repro.pipeline import ArtifactStore
 from repro.analysis.experiments import ExperimentConfig, ExperimentRunner
 
 
 @pytest.fixture(scope="module")
 def runner(tmp_path_factory):
     config = ExperimentConfig(scale=0.2, num_roots=1)
-    return ExperimentRunner(config, cache=DiskCache(tmp_path_factory.mktemp("abl")))
+    return ExperimentRunner(config, store=ArtifactStore(tmp_path_factory.mktemp("abl")))
 
 
 class TestGroupSweep:

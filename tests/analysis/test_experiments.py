@@ -1,9 +1,9 @@
-"""Tests for the experiment runner (small-scale, isolated cache)."""
+"""Tests for the experiment runner facade (small-scale, isolated store)."""
 
 import numpy as np
 import pytest
 
-from repro.analysis.diskcache import DiskCache
+from repro.pipeline import ArtifactStore
 from repro.analysis.experiments import (
     ExperimentConfig,
     ExperimentRunner,
@@ -14,7 +14,7 @@ from repro.analysis.experiments import (
 @pytest.fixture
 def runner(tmp_path):
     config = ExperimentConfig(scale=0.2, num_roots=1)
-    return ExperimentRunner(config, cache=DiskCache(tmp_path))
+    return ExperimentRunner(config, store=ArtifactStore(tmp_path))
 
 
 class TestGeomean:
@@ -66,7 +66,7 @@ class TestCells:
 
     def test_cell_disk_memoized(self, runner, tmp_path):
         first = runner.cell("PR", "lj", "Sort")
-        fresh_runner = ExperimentRunner(runner.config, cache=DiskCache(tmp_path))
+        fresh_runner = ExperimentRunner(runner.config, store=ArtifactStore(tmp_path))
         second = fresh_runner.cell("PR", "lj", "Sort")
         assert first.superstep_cycles == second.superstep_cycles
 
@@ -96,9 +96,9 @@ class TestRunGrid:
 
     def test_parallel_matches_serial_on_cold_caches(self, tmp_path):
         config = ExperimentConfig(scale=0.2, num_roots=1)
-        serial_runner = ExperimentRunner(config, cache=DiskCache(tmp_path / "serial"))
+        serial_runner = ExperimentRunner(config, store=ArtifactStore(tmp_path / "serial"))
         parallel_runner = ExperimentRunner(
-            config, cache=DiskCache(tmp_path / "parallel")
+            config, store=ArtifactStore(tmp_path / "parallel")
         )
         serial = serial_runner.run_grid(*self.GRID)
         parallel = parallel_runner.run_grid(*self.GRID, workers=2)
@@ -106,11 +106,11 @@ class TestRunGrid:
 
     def test_parallel_populates_shared_cache(self, tmp_path):
         config = ExperimentConfig(scale=0.2, num_roots=1)
-        runner = ExperimentRunner(config, cache=DiskCache(tmp_path / "c"))
+        runner = ExperimentRunner(config, store=ArtifactStore(tmp_path / "c"))
         runner.run_grid(*self.GRID, workers=2)
         # A fresh runner on the same cache replays without recomputation:
         # results must agree cell-for-cell with what the workers stored.
-        replay = ExperimentRunner(config, cache=DiskCache(tmp_path / "c"))
+        replay = ExperimentRunner(config, store=ArtifactStore(tmp_path / "c"))
         assert replay.run_grid(*self.GRID) == runner.run_grid(*self.GRID)
         assert len(list((tmp_path / "c").glob("*.pkl"))) >= len(self.GRID[2])
 
@@ -147,8 +147,8 @@ class TestSharedGraphTransport:
         shared segments.
         """
         config = ExperimentConfig(scale=0.2, num_roots=1)
-        serial_runner = ExperimentRunner(config, cache=DiskCache(tmp_path / "s"))
-        shared_runner = ExperimentRunner(config, cache=DiskCache(tmp_path / "p"))
+        serial_runner = ExperimentRunner(config, store=ArtifactStore(tmp_path / "s"))
+        shared_runner = ExperimentRunner(config, store=ArtifactStore(tmp_path / "p"))
         serial = serial_runner.run_grid(*self.GRID, workers=1)
         shared = shared_runner.run_grid(*self.GRID, workers=2)
         assert serial == shared
@@ -156,8 +156,8 @@ class TestSharedGraphTransport:
     def test_fallback_matches_shared(self, tmp_path):
         """share_graphs=False (the regeneration path) stays bit-identical."""
         config = ExperimentConfig(scale=0.2, num_roots=1)
-        shared_runner = ExperimentRunner(config, cache=DiskCache(tmp_path / "a"))
-        fallback_runner = ExperimentRunner(config, cache=DiskCache(tmp_path / "b"))
+        shared_runner = ExperimentRunner(config, store=ArtifactStore(tmp_path / "a"))
+        fallback_runner = ExperimentRunner(config, store=ArtifactStore(tmp_path / "b"))
         shared = shared_runner.run_grid(*self.GRID, workers=2)
         fallback = fallback_runner.run_grid(*self.GRID, workers=2, share_graphs=False)
         assert shared == fallback
@@ -167,14 +167,14 @@ class TestSharedGraphTransport:
         from repro.analysis import sharedgraph
 
         config = ExperimentConfig(scale=0.2, num_roots=1)
-        runner = ExperimentRunner(config, cache=DiskCache(tmp_path / "c"))
+        runner = ExperimentRunner(config, store=ArtifactStore(tmp_path / "c"))
         runner.run_grid(*self.GRID)  # populate the disk cache
 
         def boom(graphs):  # pragma: no cover - must not run
             raise AssertionError("export_graphs called on a warm cache")
 
         monkeypatch.setattr(sharedgraph, "export_graphs", boom)
-        replay = ExperimentRunner(config, cache=DiskCache(tmp_path / "c"))
+        replay = ExperimentRunner(config, store=ArtifactStore(tmp_path / "c"))
         results = replay.run_grid(*self.GRID, workers=2)
         assert len(results) == 4
 
@@ -187,7 +187,7 @@ class TestSharedGraphTransport:
 
         monkeypatch.setattr(sharedgraph, "export_graphs", unavailable)
         config = ExperimentConfig(scale=0.2, num_roots=1)
-        runner = ExperimentRunner(config, cache=DiskCache(tmp_path / "f"))
+        runner = ExperimentRunner(config, store=ArtifactStore(tmp_path / "f"))
         results = runner.run_grid(["PR"], ["lj"], ["Original"], workers=2)
         assert len(results) == 1
 
@@ -239,7 +239,7 @@ class TestCacheKeyRegressions:
         out_mapping = runner.mapping("lj", "Gorder+DBG@out", "out")
         # A fresh runner on the same cache must not be served the @out
         # mapping for the @in variant.
-        replay = ExperimentRunner(runner.config, cache=DiskCache(tmp_path))
+        replay = ExperimentRunner(runner.config, store=ArtifactStore(tmp_path))
         in_mapping = replay.mapping("lj", "Gorder+DBG@in", "in")
         expected = replay._make("Gorder+DBG", "in").compute_mapping(
             replay.graph("lj")
@@ -251,7 +251,7 @@ class TestCacheKeyRegressions:
         from repro.reorder.gorder import Gorder
 
         runner.mapping("lj", "Gorder-w2", "out")
-        replay = ExperimentRunner(runner.config, cache=DiskCache(tmp_path))
+        replay = ExperimentRunner(runner.config, store=ArtifactStore(tmp_path))
         w8 = replay.mapping("lj", "Gorder-w8", "out")
         expected = Gorder("out", window=8).compute_mapping(replay.graph("lj"))
         assert np.array_equal(w8, expected)
@@ -305,13 +305,12 @@ class TestTraceMemoization:
         from repro.analysis.profiler import PROFILER
 
         first = runner.cell("PR", "lj", "DBG")
-        replay = ExperimentRunner(runner.config, cache=DiskCache(tmp_path))
+        replay = ExperimentRunner(runner.config, store=ArtifactStore(tmp_path))
         PROFILER.reset()
         # Forget the cell result but keep the trace: the replayed cell must
         # rebuild from the memoized AppTrace (a 'trace' cache hit).
-        from repro.analysis.diskcache import CACHE_VERSION  # noqa: F401
-        key = ("cell", replay.config.cache_key(), "PR", "lj", "DBG")
-        replay.cache._path(key).unlink()
+        key = replay.pipeline.cell_store_key("PR", "lj", "DBG")
+        replay.store.path_for("cell", key).unlink()
         second = replay.cell("PR", "lj", "DBG")
         assert first == second
         snap = PROFILER.snapshot()
@@ -347,9 +346,100 @@ class TestGridProfiler:
         from repro.analysis.profiler import PROFILER
 
         config = ExperimentConfig(scale=0.2, num_roots=1)
-        runner = ExperimentRunner(config, cache=DiskCache(tmp_path / "p"))
+        runner = ExperimentRunner(config, store=ArtifactStore(tmp_path / "p"))
         PROFILER.reset()
         runner.run_grid(["PR"], ["lj"], ["Original", "DBG"], workers=2)
         snap = PROFILER.snapshot()
         assert snap["simulate"].calls >= 2
         assert snap["trace"].calls + snap["trace"].cache_hits >= 2
+
+
+class TestExactlyOnceScheduling:
+    """Grid equivalence + exactly-once stage computation (ISSUE acceptance).
+
+    The same small grid must produce identical CellResults serially and
+    with workers=2, cold and warm — and the ArtifactStore statistics must
+    show each unique mapping/trace artifact *stored* exactly once on the
+    cold pass and *recomputed never* on the warm pass, no matter how the
+    stages were distributed.
+    """
+
+    # PR and PRD share PageRank's plan shape but are distinct apps; DBG
+    # appears in every app's cells, so its mapping/traces are shared work.
+    GRID = (["PR", "SSSP"], ["lj"], ["Original", "DBG"])
+
+    @staticmethod
+    def _unique_counts(runner):
+        """(unique mapping keys, unique trace keys) for GRID's cells."""
+        p = runner.pipeline
+        mappings, traces = set(), set()
+        for app in ("PR", "SSSP"):
+            for tech in ("Original", "DBG"):
+                kind = p.degree_kind_for(app, tech)
+                if tech != "Original":
+                    mappings.add(p.mapping_store_key("lj", tech, kind))
+                roots = p.roots("lj") if app in ("SSSP", "BC") else [None]
+                for root in roots:
+                    traces.add(p.trace_store_key(app, "lj", tech, kind, root))
+        return len(mappings), len(traces)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_cold_grid_stores_each_stage_once(self, tmp_path, workers):
+        config = ExperimentConfig(scale=0.2, num_roots=1)
+        runner = ExperimentRunner(config, store=ArtifactStore(tmp_path / "c"))
+        results = runner.run_grid(*self.GRID, workers=workers)
+        assert len(results) == 4
+        n_mappings, n_traces = self._unique_counts(runner)
+        stats = runner.store.stats.as_dict()
+        assert stats["mapping"]["stores"] == n_mappings
+        assert stats["trace"]["stores"] == n_traces
+        assert stats["cell"]["stores"] == 4
+        assert stats["mapping"]["misses"] == n_mappings
+        assert stats["trace"]["misses"] == n_traces
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_warm_grid_recomputes_nothing(self, tmp_path, workers):
+        config = ExperimentConfig(scale=0.2, num_roots=1)
+        cold = ExperimentRunner(config, store=ArtifactStore(tmp_path / "c"))
+        reference = cold.run_grid(*self.GRID)
+        warm = ExperimentRunner(config, store=ArtifactStore(tmp_path / "c"))
+        replay = warm.run_grid(*self.GRID, workers=workers)
+        assert replay == reference
+        stats = warm.store.stats.as_dict()
+        # Every cell replays from its stored result; the upstream
+        # mapping/trace artifacts are never even consulted.
+        assert stats["cell"]["hits"] == 4
+        assert stats["cell"]["misses"] == 0
+        for kind in ("mapping", "trace", "cell"):
+            assert stats.get(kind, {}).get("stores", 0) == 0, kind
+
+    def test_parallel_cold_equals_serial_cold(self, tmp_path):
+        config = ExperimentConfig(scale=0.2, num_roots=1)
+        serial = ExperimentRunner(config, store=ArtifactStore(tmp_path / "s"))
+        parallel = ExperimentRunner(config, store=ArtifactStore(tmp_path / "p"))
+        assert serial.run_grid(*self.GRID) == parallel.run_grid(
+            *self.GRID, workers=2
+        )
+
+    def test_stage_jobs_deduplicated(self, tmp_path):
+        from repro.pipeline import plan_stage_jobs
+        import itertools
+
+        config = ExperimentConfig(scale=0.2, num_roots=1)
+        runner = ExperimentRunner(config, store=ArtifactStore(tmp_path / "j"))
+        cells = list(itertools.product(*self.GRID))
+        missing, mapping_jobs, trace_jobs = plan_stage_jobs(runner.pipeline, cells)
+        assert missing == cells  # nothing stored yet
+        n_mappings, n_traces = self._unique_counts(runner)
+        assert len(mapping_jobs) == n_mappings
+        assert len(trace_jobs) == n_traces
+        # A warm store plans no work at all.
+        runner.run_grid(*self.GRID)
+        assert plan_stage_jobs(runner.pipeline, cells) == ([], [], [])
+
+    def test_unknown_engine_env_rejected_before_work(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "fastest")
+        config = ExperimentConfig(scale=0.2, num_roots=1)
+        runner = ExperimentRunner(config, store=ArtifactStore(tmp_path / "e"))
+        with pytest.raises(ValueError, match="REPRO_SIM_ENGINE"):
+            runner.run_grid(["PR"], ["lj"], ["Original"])

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.diskcache import DiskCache
+from repro.pipeline import ArtifactStore
 from repro.analysis.experiments import ExperimentConfig, ExperimentRunner
 from repro.analysis.report import generate_report
 from repro.analysis import tables
@@ -11,7 +11,7 @@ from repro.analysis import tables
 @pytest.fixture
 def runner(tmp_path):
     return ExperimentRunner(
-        ExperimentConfig(scale=0.2, num_roots=1), cache=DiskCache(tmp_path)
+        ExperimentConfig(scale=0.2, num_roots=1), store=ArtifactStore(tmp_path)
     )
 
 

@@ -7,7 +7,7 @@ paper-shape assertions live in tests/integration and the benchmark suite.
 import pytest
 
 from repro.analysis import figures, tables
-from repro.analysis.diskcache import DiskCache
+from repro.pipeline import ArtifactStore
 from repro.analysis.experiments import ExperimentConfig, ExperimentRunner
 from repro.analysis.render import render_result
 from repro.graph.generators import SKEWED_DATASETS
@@ -17,7 +17,7 @@ from repro.graph.generators import SKEWED_DATASETS
 def runner(tmp_path_factory):
     config = ExperimentConfig(scale=0.2, num_roots=1)
     return ExperimentRunner(
-        config, cache=DiskCache(tmp_path_factory.mktemp("cache"))
+        config, store=ArtifactStore(tmp_path_factory.mktemp("cache"))
     )
 
 

@@ -1,0 +1,80 @@
+"""Tests for the ``repro-cache`` maintenance CLI."""
+
+import os
+import time
+
+import pytest
+
+from repro.pipeline.store import ArtifactStore
+from repro.tools.cache_tool import main, parse_size
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    store.put("mapping", ("lj", "DBG"), list(range(50)))
+    store.put("trace", ("PR", "lj"), b"t" * 3000)
+    store.put("cell", ("PR", "lj", "DBG"), {"run_cycles": 1.0})
+    return store
+
+
+class TestParseSize:
+    @pytest.mark.parametrize("text,expected", [
+        ("1000", 1000),
+        ("64K", 64 * 1024),
+        ("1.5M", int(1.5 * 1024**2)),
+        ("2g", 2 * 1024**3),
+        ("10kb", 10 * 1024),
+    ])
+    def test_accepts_suffixes(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_rejects_garbage(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_size("lots")
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_size("-5")
+
+
+class TestCommands:
+    def test_ls_lists_every_artifact(self, store, capsys):
+        assert main(["--dir", str(store.directory), "ls"]) == 0
+        out = capsys.readouterr().out
+        for kind in ("mapping", "trace", "cell"):
+            assert kind in out
+        assert "3 artifacts" in out
+
+    def test_ls_empty_store(self, tmp_path, capsys):
+        assert main(["--dir", str(tmp_path / "none"), "ls"]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_stats_reports_kinds_and_schema(self, store, capsys):
+        from repro.pipeline.store import SCHEMA_VERSION
+
+        assert main(["--dir", str(store.directory), "stats"]) == 0
+        out = capsys.readouterr().out
+        assert f"schema version: {SCHEMA_VERSION}" in out
+        assert "mapping" in out and "trace" in out and "cell" in out
+        assert "quarantined     0" in out
+
+    def test_gc_evicts_oldest_to_budget(self, store, capsys):
+        oldest = store.ls()[-1].path
+        past = time.time() - 100
+        os.utime(oldest, (past, past))
+        assert main(["--dir", str(store.directory), "gc", "--max-bytes", "3200"]) == 0
+        assert not oldest.exists()
+        assert ArtifactStore(store.directory).total_bytes() <= 3200
+        assert "removed" in capsys.readouterr().out
+
+    def test_clear_removes_everything(self, store, capsys):
+        assert main(["--dir", str(store.directory), "clear"]) == 0
+        assert ArtifactStore(store.directory).ls() == []
+        assert "removed 3 files" in capsys.readouterr().out
+
+    def test_default_dir_resolution(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envstore"))
+        ArtifactStore().put("cell", "k", 1)
+        assert main(["ls"]) == 0
+        assert "cell-" in capsys.readouterr().out

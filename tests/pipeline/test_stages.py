@@ -1,0 +1,80 @@
+"""Tests for the declarative stage graph and its key builders."""
+
+import pytest
+
+from repro.pipeline import stages
+from repro.pipeline.stages import PIPELINE, StageGraph, StageSpec
+
+
+class TestPipelineShape:
+    def test_stage_order(self):
+        assert PIPELINE.names == (
+            "generate", "mapping", "relabel", "trace", "simulate", "model"
+        )
+
+    def test_persisted_stages_and_kinds(self):
+        assert [s.name for s in PIPELINE.persisted()] == [
+            "mapping", "trace", "model"
+        ]
+        assert PIPELINE.artifact_kinds() == ("mapping", "trace", "cell")
+
+    def test_deps_reference_earlier_stages_only(self):
+        seen = set()
+        for spec in PIPELINE:
+            assert set(spec.deps) <= seen
+            seen.add(spec.name)
+
+    def test_spec_lookup(self):
+        assert PIPELINE.spec("trace").artifact_kind == "trace"
+        with pytest.raises(KeyError, match="unknown pipeline stage"):
+            PIPELINE.spec("teleport")
+
+    def test_required_engine_domains(self):
+        assert set(PIPELINE.required_engine_domains()) == {"graph", "trace", "sim"}
+
+    def test_validate_engines_resolves_each_domain(self, monkeypatch):
+        for var in ("REPRO_SIM_ENGINE", "REPRO_TRACE_ENGINE", "REPRO_GRAPH_ENGINE"):
+            monkeypatch.delenv(var, raising=False)
+        resolved = PIPELINE.validate_engines()
+        assert set(resolved) == {"graph", "trace", "sim"}
+
+    def test_validate_engines_propagates_bad_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_ENGINE", "sloppy")
+        with pytest.raises(ValueError, match="REPRO_TRACE_ENGINE"):
+            PIPELINE.validate_engines()
+
+
+class TestGraphValidation:
+    def test_duplicate_names_rejected(self):
+        spec = StageSpec("a", (), None, ())
+        with pytest.raises(ValueError, match="duplicate"):
+            StageGraph((spec, spec))
+
+    def test_forward_dependency_rejected(self):
+        with pytest.raises(ValueError, match="topological"):
+            StageGraph((
+                StageSpec("a", ("b",), None, ()),
+                StageSpec("b", (), None, ()),
+            ))
+
+    def test_unknown_engine_domain_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine domains"):
+            StageGraph((StageSpec("a", (), None, ("quantum",)),))
+
+
+class TestKeyBuilders:
+    def test_mapping_key_excludes_config_knobs(self):
+        assert stages.mapping_key(1.0, "lj", ("DBG", "out")) == (
+            1.0, "lj", ("DBG", "out")
+        )
+
+    def test_trace_key_distinguishes_apps_and_roots(self):
+        base = stages.trace_key(1.0, "SSSP", "lj", "tok", 3)
+        assert base != stages.trace_key(1.0, "BC", "lj", "tok", 3)
+        assert base != stages.trace_key(1.0, "SSSP", "lj", "tok", 4)
+        assert base != stages.trace_key(0.5, "SSSP", "lj", "tok", 3)
+
+    def test_cell_key_carries_config(self):
+        a = stages.cell_key(("cfg-a",), "PR", "lj", "DBG")
+        b = stages.cell_key(("cfg-b",), "PR", "lj", "DBG")
+        assert a != b
