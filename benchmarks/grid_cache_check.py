@@ -1,19 +1,24 @@
 """CI gate: a warm grid must replay entirely from the artifact store.
 
-Runs a small experiment grid twice against one store directory:
+Runs a small experiment grid twice against one store directory, each
+pass as an *observed run* (``runs/<run_id>/`` with the merged span
+event log and the provenance manifest — :mod:`repro.observability`):
 
 * **cold** — nothing persisted; asserts the store counters show each
   unique mapping/trace artifact stored exactly once (the stage-granular
   scheduler's contract) and one stored result per cell;
 * **warm** — a fresh pipeline on the same store; asserts *zero* stage
   recomputations: every cell is a store hit, no kind records a miss or a
-  store, and the stage profiler confirms no expensive stage ran.
+  store, and the manifest's timings block confirms no expensive stage ran.
 
 Both passes run with ``workers=2`` so the exactly-once guarantee is
 exercised across real processes, and the results of the two passes are
-compared cell-for-cell.  Emits ``BENCH_grid_cache.json`` with the store
-counters and the per-stage ``grid_stages`` timing breakdown of each pass
-for the CI artifact archive.
+compared cell-for-cell.  The per-stage timings come from the run
+manifest (aggregated from the span stream), which is also checked to
+reconcile with the live stage profiler within 1%.  Emits
+``BENCH_grid_cache.json`` with the store counters and per-pass
+``grid_stages`` breakdown; the run directories themselves (events +
+manifests) are archived by CI.
 
 Usage::
 
@@ -28,6 +33,7 @@ import sys
 import tempfile
 from pathlib import Path
 
+from repro import observability
 from repro.analysis.experiments import ExperimentConfig, ExperimentRunner
 from repro.pipeline import ArtifactStore, plan_stage_jobs
 from repro.pipeline.profiler import PROFILER
@@ -36,32 +42,65 @@ BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_grid_cache.json"
 
 GRID = (["PR", "SSSP"], ["lj", "wl"], ["Original", "DBG", "Sort"])
 
+#: Stages the warm pass must not execute (cache hits are fine).
+EXPENSIVE_STAGES = ("mapping", "trace", "simulate")
 
-def _stage_breakdown() -> dict:
-    """Profiler snapshot as JSON (the ``grid_stages`` payload shape)."""
-    snap = PROFILER.snapshot()
-    total = sum(s.seconds for s in snap.values())
+
+def _grid_stages(manifest: dict) -> dict:
+    """The manifest's machine-readable timings block, share annotated.
+
+    This *is* the ``grid_stages`` payload now — the bespoke profiler
+    re-serialization this script used to carry is gone; the span stream
+    aggregated into the manifest is the single source of timing truth.
+    """
+    timings = manifest["timings"]
+    total = timings["staged_seconds"]
     return {
         "staged_seconds": total,
         "stages": {
-            stage: {
-                "seconds": s.seconds,
-                "share": s.seconds / total if total else 0.0,
-                "calls": s.calls,
-                "cache_hits": s.cache_hits,
-            }
-            for stage, s in sorted(snap.items())
+            stage: {**entry, "share": entry["seconds"] / total if total else 0.0}
+            for stage, entry in sorted(timings["stages"].items())
         },
     }
 
 
-def run_pass(label: str, config: ExperimentConfig, store_dir: Path, workers: int):
+def _assert_profiler_reconciles(manifest: dict) -> None:
+    """Manifest timings (from spans) vs live profiler: within 1%."""
+    snap = PROFILER.snapshot()
+    stages = manifest["timings"]["stages"]
+    for name, stats in snap.items():
+        span_s = stages.get(name, {}).get("seconds", 0.0)
+        if stats.seconds > 0.05:  # below that, both are noise-level
+            drift = abs(span_s - stats.seconds) / stats.seconds
+            assert drift < 0.01, (
+                f"stage {name}: span stream says {span_s:.4f}s, "
+                f"profiler says {stats.seconds:.4f}s ({drift:.1%} apart)"
+            )
+        assert stages.get(name, {}).get("calls", 0) == stats.calls, (
+            f"stage {name}: span count != profiler call count"
+        )
+
+
+def run_pass(
+    label: str,
+    config: ExperimentConfig,
+    store_dir: Path,
+    runs_dir: Path,
+    workers: int,
+):
     runner = ExperimentRunner(config, store=ArtifactStore(store_dir))
     PROFILER.reset()
-    results = runner.run_grid(*GRID, workers=workers)
+    with observability.start_run(runs_dir, run_id=f"grid-cache-{label}") as run:
+        results = runner.run_grid(*GRID, workers=workers)
+    manifest = observability.load_manifest(run.run_dir)
+    assert manifest is not None, f"{label} pass wrote no manifest"
+    assert manifest["status"] == "ok", manifest["failures"]
+    assert (run.run_dir / "events.jsonl").exists(), "no event log written"
+    _assert_profiler_reconciles(manifest)
     payload = {
         "store": runner.store.stats.as_dict(),
-        "grid_stages": _stage_breakdown(),
+        "grid_stages": _grid_stages(manifest),
+        "run_id": manifest["run_id"],
     }
     print(f"[{label}] store counters:")
     for kind, counters in payload["store"].items():
@@ -73,6 +112,12 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument(
+        "--runs-dir",
+        type=Path,
+        default=Path("runs"),
+        help="where the cold/warm run directories (events + manifests) land",
+    )
     args = parser.parse_args(argv)
 
     config = ExperimentConfig(scale=args.scale, num_roots=1)
@@ -82,7 +127,7 @@ def main(argv: list[str] | None = None) -> int:
         store_dir = Path(tmp)
 
         cold_runner, cold_results, cold = run_pass(
-            "cold", config, store_dir, args.workers
+            "cold", config, store_dir, args.runs_dir, args.workers
         )
         _, mapping_jobs, trace_jobs = plan_stage_jobs(
             ExperimentRunner(config, store=ArtifactStore(store_dir)).pipeline, cells
@@ -98,7 +143,7 @@ def main(argv: list[str] | None = None) -> int:
         )
 
         warm_runner, warm_results, warm = run_pass(
-            "warm", config, store_dir, args.workers
+            "warm", config, store_dir, args.runs_dir, args.workers
         )
         assert warm_results == cold_results, "warm replay diverged from cold results"
         wstats = warm["store"]
@@ -109,7 +154,7 @@ def main(argv: list[str] | None = None) -> int:
         warm_calls = {
             stage: entry["calls"]
             for stage, entry in warm["grid_stages"]["stages"].items()
-            if stage in ("mapping", "trace", "simulate")
+            if stage in EXPENSIVE_STAGES
         }
         assert not any(warm_calls.values()), (
             f"warm pass executed expensive stages: {warm_calls}"
@@ -128,7 +173,7 @@ def main(argv: list[str] | None = None) -> int:
         + "\n"
     )
     print(f"ok: warm grid replayed {len(cells)} cells with zero stage recomputes")
-    print(f"wrote {BENCH_PATH.name}")
+    print(f"wrote {BENCH_PATH.name}; run dirs under {args.runs_dir}/")
     return 0
 
 

@@ -13,7 +13,7 @@ import argparse
 import os
 import sys
 
-from repro import engines
+from repro import engines, observability
 from repro.analysis import ablations, figures, tables
 from repro.analysis.experiments import ExperimentConfig, ExperimentRunner
 from repro.analysis.charts import render_chart
@@ -109,6 +109,12 @@ def main(argv: list[str] | None = None) -> int:
         help="print the per-stage pipeline time breakdown "
         "(generate/mapping/relabel/trace/simulate/model) after the run",
     )
+    parser.add_argument(
+        "--run-dir", type=str, default=None,
+        help="record this invocation as an observed run (span event log + "
+        "manifest) under the given runs directory; defaults to "
+        "$REPRO_RUNS_DIR when that is set, else no run is recorded",
+    )
     args = parser.parse_args(argv)
     if args.engine:
         # Campaign-wide override, inherited by grid worker processes.
@@ -132,6 +138,12 @@ def main(argv: list[str] | None = None) -> int:
 
     config = ExperimentConfig(scale=args.scale, num_roots=args.roots)
     runner = ExperimentRunner(config)
+    run = None
+    if args.run_dir or os.environ.get(observability.run.RUNS_DIR_ENV):
+        run = observability.start_run(args.run_dir)
+        run.set_config(config)
+        run.attach_store(runner.store)
+        print(f"observing run {run.run_id} -> {run.run_dir}")
     if args.workers > 1:
         from repro.apps.registry import APP_ORDER
         from repro.analysis.figures import MAIN_TECHNIQUES
@@ -149,18 +161,29 @@ def main(argv: list[str] | None = None) -> int:
 
         path = generate_report(runner, EXPERIMENTS, names, args.output)
         print(f"report written to {path}")
-    for name in names:
-        result = EXPERIMENTS[name](runner)
-        if args.chart:
-            print(render_chart(result))
-        else:
-            print(render_result(result))
-        print()
+    try:
+        for name in names:
+            with observability.TRACER.span("experiment", kind="experiment", experiment=name):
+                result = EXPERIMENTS[name](runner)
+            if args.chart:
+                print(render_chart(result))
+            else:
+                print(render_result(result))
+            print()
+    except Exception as exc:
+        if run is not None:
+            run.record_failure("experiment", f"{type(exc).__name__}: {exc}")
+            run.finish()
+            print(f"run manifest (failed): {run.manifest_path}")
+        raise
     if args.profile:
         from repro.pipeline.profiler import PROFILER
 
         print("pipeline stage breakdown (this run, workers included):")
         print(PROFILER.format_snapshot())
+    if run is not None:
+        run.finish()
+        print(f"run manifest: {run.manifest_path}")
     return 0
 
 

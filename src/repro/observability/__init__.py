@@ -1,0 +1,60 @@
+"""Run-level observability for the experiment pipeline.
+
+Three cooperating pieces, all process-global the way the stage profiler
+already is:
+
+* :mod:`repro.observability.tracing` — :class:`Tracer`/:class:`Span`:
+  nested spans with wall/CPU durations and tags, plus zero-duration
+  point events, buffered per process and merged across grid workers;
+* :mod:`repro.observability.metrics` — :class:`MetricsRegistry`:
+  counters / gauges / histograms with the snapshot / diff / merge
+  lifecycle, absorbing the store and engine counters behind one API;
+* :mod:`repro.observability.run` — :class:`RunContext`: the per-run
+  directory ``runs/<run_id>/`` with the append-only ``events.jsonl``
+  and the atomically published ``manifest.json``.
+
+``repro-status`` (:mod:`repro.tools.status_tool`) inspects and compares
+the run directories this package writes.
+"""
+
+from repro.observability.metrics import (
+    METRICS,
+    MetricsRegistry,
+    absorb_engine_counters,
+    absorb_store_stats,
+    diff_metrics,
+)
+from repro.observability.run import (
+    MANIFEST_SCHEMA,
+    RunContext,
+    current_run,
+    default_runs_dir,
+    iter_events,
+    list_runs,
+    load_manifest,
+    new_run_id,
+    stage_totals,
+    start_run,
+)
+from repro.observability.tracing import TRACER, Span, Tracer
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "METRICS",
+    "MetricsRegistry",
+    "RunContext",
+    "Span",
+    "TRACER",
+    "Tracer",
+    "absorb_engine_counters",
+    "absorb_store_stats",
+    "current_run",
+    "default_runs_dir",
+    "diff_metrics",
+    "iter_events",
+    "list_runs",
+    "load_manifest",
+    "new_run_id",
+    "stage_totals",
+    "start_run",
+]

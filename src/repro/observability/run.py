@@ -1,0 +1,395 @@
+"""Run directories: the append-only event log and the run manifest.
+
+A *run* is one observed experiment session (typically one grid).  It
+owns a directory ``runs/<run_id>/`` holding exactly two files:
+
+* ``events.jsonl`` — the merged span/event stream (one JSON object per
+  line, appended as events arrive; worker events are folded in by the
+  grid scheduler with each job result);
+* ``manifest.json`` — the provenance record, written atomically (and
+  rewritten on completion): config hash, engine resolution, dataset
+  seeds, store hit/miss summary, git SHA, per-stage timings aggregated
+  from the event stream, metrics snapshot, and any recorded failures.
+
+:func:`start_run` opens a run and makes it current; the pipeline layers
+(:mod:`repro.pipeline.grid`, the CLIs) pick the current run up through
+:func:`current_run` instead of threading a handle through every call.
+A failing grid still gets a manifest — ``status: "failed"`` with the
+error recorded — so a dead worker is diagnosable after the fact rather
+than silently dropping the run record.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import threading
+import time
+from pathlib import Path
+
+from repro.observability.metrics import METRICS, absorb_engine_counters
+from repro.observability.tracing import TRACER
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "RunContext",
+    "start_run",
+    "current_run",
+    "default_runs_dir",
+    "new_run_id",
+    "load_manifest",
+    "iter_events",
+    "list_runs",
+    "stage_totals",
+]
+
+#: Manifest format version (bumped when fields change incompatibly).
+MANIFEST_SCHEMA = 1
+
+#: Environment override for the runs root directory.
+RUNS_DIR_ENV = "REPRO_RUNS_DIR"
+
+_RUN_COUNTER = 0
+_CURRENT: "RunContext | None" = None
+
+
+def default_runs_dir() -> Path:
+    """Resolve the runs root (env override, else repo-local ``runs/``)."""
+    env = os.environ.get(RUNS_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.cwd() / "runs"
+
+
+def new_run_id() -> str:
+    """Unique, sortable run id: ``<utc stamp>-<pid>-<counter>``."""
+    global _RUN_COUNTER
+    _RUN_COUNTER += 1
+    stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime())
+    return f"{stamp}-{os.getpid()}-{_RUN_COUNTER:02d}"
+
+
+def _git_sha() -> str | None:
+    """Best-effort commit SHA of the working tree (None outside a repo)."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def _json_default(value):
+    """Last-resort JSON encoding for numpy scalars and similar."""
+    if hasattr(value, "item"):
+        return value.item()
+    return repr(value)
+
+
+class RunContext:
+    """One observed run: event sink, provenance accumulator, manifest writer."""
+
+    def __init__(self, run_dir: Path, run_id: str) -> None:
+        self.run_dir = Path(run_dir)
+        self.run_id = run_id
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        self.events_path = self.run_dir / "events.jsonl"
+        self.manifest_path = self.run_dir / "manifest.json"
+        self._lock = threading.Lock()
+        # "w": a fresh run owns its directory — a reused run id (e.g. a
+        # re-executed CI script) must not interleave two runs' streams.
+        # Within the run's lifetime the log is append-only.
+        self._events_file = open(self.events_path, "w", encoding="utf-8", buffering=1)
+        self._started = time.time()
+        self._stage_totals: dict[str, dict] = {}
+        self._grids: list[dict] = []
+        self._datasets: dict[str, dict] = {}
+        self._failures: list[dict] = []
+        self._config: dict | None = None
+        self._store = None
+        self._status = "running"
+        self._closed = False
+        TRACER.subscribe(self.write_event)
+
+    # -- event sink ----------------------------------------------------------
+    def write_event(self, event: dict) -> None:
+        """Append one event to ``events.jsonl`` (and fold stage totals)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._ingest(event)
+            self._events_file.write(json.dumps(event, default=_json_default) + "\n")
+
+    def write_events(self, events: list[dict]) -> None:
+        """Append a batch of events drained from a worker process."""
+        with self._lock:
+            if self._closed:
+                return
+            lines = []
+            for event in events:
+                self._ingest(event)
+                lines.append(json.dumps(event, default=_json_default))
+            if lines:
+                self._events_file.write("\n".join(lines) + "\n")
+            self._events_file.flush()
+
+    def _ingest(self, event: dict) -> None:
+        """Aggregate one event into the manifest's per-stage timings.
+
+        The manifest's machine-readable timings block is *derived from
+        the event stream*, not from a parallel accumulator — the span
+        log and the manifest cannot disagree.
+        """
+        tags = event.get("tags") or {}
+        kind = tags.get("kind")
+        if kind == "stage" and event.get("type") == "span":
+            totals = self._stage_totals.setdefault(
+                event["name"],
+                {"calls": 0, "seconds": 0.0, "cpu_seconds": 0.0, "cache_hits": 0},
+            )
+            totals["calls"] += 1
+            totals["seconds"] += event.get("wall_s", 0.0)
+            totals["cpu_seconds"] += event.get("cpu_s", 0.0)
+        elif kind == "cache_hit":
+            totals = self._stage_totals.setdefault(
+                event["name"],
+                {"calls": 0, "seconds": 0.0, "cpu_seconds": 0.0, "cache_hits": 0},
+            )
+            totals["cache_hits"] += 1
+
+    # -- provenance accumulation ---------------------------------------------
+    def set_config(self, config) -> None:
+        """Record the experiment configuration (hashed cache key)."""
+        key = repr(config.cache_key())
+        self._config = {
+            "hash": hashlib.sha256(key.encode()).hexdigest()[:32],
+            "key": key,
+            "scale": getattr(config, "scale", None),
+            "num_roots": getattr(config, "num_roots", None),
+        }
+
+    def attach_store(self, store) -> None:
+        """Store whose statistics the final manifest summarizes."""
+        self._store = store
+
+    def add_grid(
+        self,
+        apps: list[str],
+        datasets: list[str],
+        techniques: list[str],
+        workers: int | None,
+    ) -> None:
+        """Record one grid's shape and the seeds of the datasets it touches."""
+        with self._lock:
+            self._grids.append(
+                {
+                    "apps": list(apps),
+                    "datasets": list(datasets),
+                    "techniques": list(techniques),
+                    "workers": workers,
+                    "cells": len(apps) * len(datasets) * len(techniques),
+                }
+            )
+        try:
+            from repro.graph.generators.datasets import DATASETS
+
+            for name in datasets:
+                spec = DATASETS.get(name)
+                if spec is not None and name not in self._datasets:
+                    self._datasets[name] = {
+                        "seed": getattr(spec, "seed", None),
+                        "num_vertices": getattr(spec, "num_vertices", None),
+                    }
+        except ImportError:  # pragma: no cover - generators always importable
+            pass
+
+    def record_failure(self, phase: str, detail: str, **tags) -> None:
+        """Record a failure in the manifest and the event stream."""
+        with self._lock:
+            self._failures.append(
+                {"phase": phase, "detail": detail, "ts": time.time(), **tags}
+            )
+            self._status = "failed"
+        TRACER.event("failure", kind="failure", phase=phase, detail=detail, **tags)
+
+    # -- manifest ------------------------------------------------------------
+    def manifest(self) -> dict:
+        """The manifest payload reflecting everything recorded so far."""
+        from repro import engines
+
+        with self._lock:
+            stages = {
+                name: dict(totals) for name, totals in self._stage_totals.items()
+            }
+            grids = list(self._grids)
+            datasets = dict(self._datasets)
+            failures = list(self._failures)
+            status = self._status
+            config = self._config
+        staged = sum(t["seconds"] for t in stages.values())
+        store_summary = None
+        if self._store is not None:
+            store_summary = {
+                "directory": str(self._store.directory),
+                "kinds": self._store.stats.as_dict(),
+            }
+        try:
+            engine_report = engines.status()
+        except Exception as exc:  # pragma: no cover - defensive
+            engine_report = {"error": repr(exc)}
+        return {
+            "manifest_schema": MANIFEST_SCHEMA,
+            "run_id": self.run_id,
+            "status": status,
+            "created": self._started,
+            "finished": time.time(),
+            "wall_s": time.time() - self._started,
+            "git_sha": _git_sha(),
+            "config": config,
+            "engines": engine_report,
+            "grids": grids,
+            "datasets": datasets,
+            "store": store_summary,
+            "timings": {"staged_seconds": staged, "stages": stages},
+            "metrics": METRICS.snapshot(),
+            "failures": failures,
+            "events_file": self.events_path.name,
+            "dropped_events": TRACER.dropped,
+        }
+
+    def write_manifest(self) -> Path:
+        """Atomically publish ``manifest.json`` (tmp + rename)."""
+        payload = json.dumps(
+            self.manifest(), indent=2, sort_keys=True, default=_json_default
+        )
+        tmp = self.manifest_path.with_suffix(f".{os.getpid()}.tmp")
+        tmp.write_text(payload + "\n", encoding="utf-8")
+        os.replace(tmp, self.manifest_path)
+        return self.manifest_path
+
+    # -- lifecycle -----------------------------------------------------------
+    def finish(self, status: str | None = None) -> Path:
+        """Stop observing, absorb the engine counters, write the manifest."""
+        global _CURRENT
+        TRACER.unsubscribe(self.write_event)
+        try:
+            absorb_engine_counters(METRICS)
+        except Exception:  # pragma: no cover - counters must never kill a run
+            pass
+        with self._lock:
+            if status is not None:
+                self._status = status
+            elif self._status == "running":
+                self._status = "ok"
+        path = self.write_manifest()
+        with self._lock:
+            self._closed = True
+            self._events_file.close()
+        if _CURRENT is self:
+            _CURRENT = None
+        return path
+
+    def __enter__(self) -> "RunContext":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None and self._status == "running":
+            self.record_failure("run", f"{exc_type.__name__}: {exc}")
+        self.finish()
+
+
+def start_run(
+    root: Path | str | None = None, run_id: str | None = None
+) -> RunContext:
+    """Open a new run directory and make it the process-current run."""
+    global _CURRENT
+    run_id = run_id or new_run_id()
+    root = Path(root) if root is not None else default_runs_dir()
+    run = RunContext(root / run_id, run_id)
+    _CURRENT = run
+    return run
+
+
+def current_run() -> RunContext | None:
+    """The active run, or ``None`` when nothing is being observed."""
+    return _CURRENT
+
+
+# -- reading runs back (repro-status, tests) ---------------------------------
+
+def load_manifest(run_dir: Path | str) -> dict | None:
+    """Parse ``manifest.json``; ``None`` when absent or unreadable."""
+    path = Path(run_dir) / "manifest.json"
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def iter_events(run_dir: Path | str):
+    """Yield events from ``events.jsonl``, skipping unparseable lines.
+
+    A run killed mid-write may leave a truncated final line; a missing
+    file yields nothing — partial runs are inspectable, never fatal.
+    """
+    path = Path(run_dir) / "events.jsonl"
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except OSError:
+        return
+    with handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                continue
+
+
+def list_runs(root: Path | str | None = None) -> list[Path]:
+    """Run directories under ``root``, newest id first (ids sort by time)."""
+    root = Path(root) if root is not None else default_runs_dir()
+    if not root.is_dir():
+        return []
+    return sorted(
+        (p for p in root.iterdir() if p.is_dir()),
+        key=lambda p: p.name,
+        reverse=True,
+    )
+
+
+def stage_totals(run_dir: Path | str) -> dict[str, dict]:
+    """Per-stage wall-time totals recomputed from the raw event stream.
+
+    The reconciliation primitive: the manifest's ``timings`` block and
+    this function must agree (both fold the same events), and tests
+    compare either against the live stage profiler.
+    """
+    totals: dict[str, dict] = {}
+    for event in iter_events(run_dir):
+        tags = event.get("tags") or {}
+        if tags.get("kind") == "stage" and event.get("type") == "span":
+            entry = totals.setdefault(
+                event["name"],
+                {"calls": 0, "seconds": 0.0, "cpu_seconds": 0.0, "cache_hits": 0},
+            )
+            entry["calls"] += 1
+            entry["seconds"] += event.get("wall_s", 0.0)
+            entry["cpu_seconds"] += event.get("cpu_s", 0.0)
+        elif tags.get("kind") == "cache_hit":
+            entry = totals.setdefault(
+                event["name"],
+                {"calls": 0, "seconds": 0.0, "cpu_seconds": 0.0, "cache_hits": 0},
+            )
+            entry["cache_hits"] += 1
+    return totals

@@ -35,6 +35,7 @@ from dataclasses import astuple, dataclass, field
 
 import numpy as np
 
+from repro.observability import TRACER
 from repro.pipeline.profiler import PROFILER
 from repro.apps import make_app
 from repro.cachesim import DEFAULT_HIERARCHY, HierarchyConfig, simulate_trace
@@ -148,20 +149,21 @@ class CellPipeline:
         """
         self._graphs.update(graphs)
 
-    def _persisted(self, stage_name: str, key: tuple, compute):
+    def _persisted(self, stage_name: str, key: tuple, compute, **tags):
         """Run a persisted stage: store hit, else profile + compute + put.
 
         The one code path every store-backed stage funnels through, so
-        the profiler hook (stage timing; hits counted as cheap calls of
-        the stage they short-circuit) and the store's hit/miss/byte
-        accounting cover the whole pipeline uniformly.
+        the profiler/tracer hook (stage spans; hits counted as cheap
+        calls of the stage they short-circuit) and the store's
+        hit/miss/byte accounting cover the whole pipeline uniformly.
+        ``tags`` annotate the emitted span/event with cell identity.
         """
         kind = PIPELINE.spec(stage_name).artifact_kind
         cached = self.store.get(kind, key)
         if cached is not None:
-            PROFILER.count_cache_hit(stage_name)
+            PROFILER.count_cache_hit(stage_name, **tags)
             return cached
-        with PROFILER.stage(stage_name):
+        with PROFILER.stage(stage_name, **tags):
             value = compute()
         self.store.put(kind, key, value)
         return value
@@ -170,7 +172,7 @@ class CellPipeline:
     def graph(self, dataset: str, weighted: bool = False) -> Graph:
         key = (dataset, weighted)
         if key not in self._graphs:
-            with PROFILER.stage("generate"):
+            with PROFILER.stage("generate", dataset=dataset, weighted=weighted):
                 self._graphs[key] = load_dataset(
                     dataset, scale=self.config.scale, weighted=weighted
                 )
@@ -248,6 +250,8 @@ class CellPipeline:
                     self.config.scale, dataset, technique.cache_token()
                 ),
                 lambda: technique.compute_mapping(self.graph(dataset)),
+                dataset=dataset,
+                technique=technique_name,
             )
         self._mappings[key] = mapping
         return mapping
@@ -260,7 +264,7 @@ class CellPipeline:
         if key not in self._reordered:
             mapping = self.mapping(dataset, technique_name, degree_kind)
             graph = self.graph(dataset, weighted)
-            with PROFILER.stage("relabel"):
+            with PROFILER.stage("relabel", dataset=dataset, technique=technique_name):
                 self._reordered[key] = graph.relabel(mapping)
         return self._reordered[key]
 
@@ -313,7 +317,9 @@ class CellPipeline:
         key = self.trace_store_key(app_name, dataset, technique_name, degree_kind, root)
         cached = self.store.get("trace", key)
         if cached is not None:
-            PROFILER.count_cache_hit("trace")
+            PROFILER.count_cache_hit(
+                "trace", app=app_name, dataset=dataset, technique=technique_name
+            )
             return cached
         # Upstream stages (mapping / relabel / plan) run *outside* the
         # trace stage's timer, so the breakdown attributes their cost to
@@ -322,7 +328,9 @@ class CellPipeline:
         graph = self.reordered_graph(dataset, technique_name, degree_kind, weighted)
         mapping = self.mapping(dataset, technique_name, degree_kind)
         plan = self.plan(app_name, dataset, root).remap(mapping)
-        with PROFILER.stage("trace"):
+        with PROFILER.stage(
+            "trace", app=app_name, dataset=dataset, technique=technique_name
+        ):
             trace = app.trace(graph, plan)
         self.store.put("trace", key, trace)
         return trace
@@ -338,8 +346,22 @@ class CellPipeline:
         key = self.cell_store_key(app_name, dataset, technique_name)
         cached = self.store.get("cell", key)
         if cached is not None:
+            TRACER.event(
+                "cell",
+                kind="cache_hit",
+                app=app_name,
+                dataset=dataset,
+                technique=technique_name,
+            )
             return CellResult(**cached)
-        result = self._compute_cell(app_name, dataset, technique_name)
+        with TRACER.span(
+            "cell",
+            kind="cell",
+            app=app_name,
+            dataset=dataset,
+            technique=technique_name,
+        ):
+            result = self._compute_cell(app_name, dataset, technique_name)
         payload = {k: getattr(result, k) for k in result.__dataclass_fields__}
         self.store.put("cell", key, payload)
         return result

@@ -22,12 +22,21 @@ granularity instead of handing whole cells to the pool:
    cell-granular fan-out recomputed a shared mapping/trace in every
    worker that happened to need it before a sibling published it.
 
-Workers return their stage-profiler and store-statistics deltas with
-each job; the parent folds both into its own accumulators, so a grid
-reports one coherent timing breakdown and one "was anything recomputed?"
-answer regardless of how stages were distributed.  Results come back in
-cross-product order (apps outermost, techniques innermost), identical to
-the serial loop.
+Workers return their stage-profiler, store-statistics and tracer-event
+deltas with each job; the parent folds all three into its own
+accumulators, so a grid reports one coherent timing breakdown, one
+"was anything recomputed?" answer and one merged span stream regardless
+of how stages were distributed.  Results come back in cross-product
+order (apps outermost, techniques innermost), identical to the serial
+loop.
+
+When a run is being observed (:func:`repro.observability.current_run`),
+the grid records its shape, config hash and store into the run, streams
+every span — parent and worker — into the run's ``events.jsonl``, and
+publishes the run manifest at grid completion.  A worker that dies
+mid-stage still produces a manifest: the failure is recorded (phase,
+job, error) and the manifest is written with ``status: "failed"``
+before the exception propagates.
 """
 
 from __future__ import annotations
@@ -35,6 +44,8 @@ from __future__ import annotations
 import itertools
 from concurrent.futures import ProcessPoolExecutor
 
+from repro import observability
+from repro.observability import TRACER
 from repro.pipeline import sharedgraph
 from repro.pipeline.profiler import PROFILER, diff_snapshots
 from repro.pipeline.cells import ROOT_APPS, CellPipeline, CellResult, ExperimentConfig
@@ -132,12 +143,48 @@ def run_grid(
     # built or worker spawned, not mid-campaign in a worker traceback.
     PIPELINE.validate_engines()
     cells = list(itertools.product(apps, datasets, techniques))
-    if workers is None or workers <= 1:
-        return [pipeline.cell(*spec) for spec in cells]
+    run = observability.current_run()
+    if run is not None:
+        run.set_config(pipeline.config)
+        run.attach_store(pipeline.store)
+        run.add_grid(apps, datasets, techniques, workers)
+    _PHASE["name"] = "plan"
+    try:
+        with TRACER.span(
+            "grid", kind="grid", cells=len(cells), workers=workers or 1
+        ):
+            if workers is None or workers <= 1:
+                _PHASE["name"] = "cells"
+                results = [pipeline.cell(*spec) for spec in cells]
+            else:
+                results = _run_grid_parallel(pipeline, cells, workers, share_graphs)
+    except Exception as exc:
+        if run is not None:
+            run.record_failure(_PHASE["name"], f"{type(exc).__name__}: {exc}")
+            run.write_manifest()
+        raise
+    if run is not None:
+        run.write_manifest()
+    return results
+
+
+#: Phase the scheduler is currently executing, for failure attribution
+#: in the run manifest (single-threaded orchestration; a dict so the
+#: failure handler sees the value live at raise time).
+_PHASE: dict = {"name": "plan"}
+
+
+def _run_grid_parallel(
+    pipeline: CellPipeline,
+    cells: list[tuple[str, str, str]],
+    workers: int,
+    share_graphs: bool,
+) -> list[CellResult]:
     missing, mapping_jobs, trace_jobs = plan_stage_jobs(pipeline, cells)
     manifest = None
     handles: list = []
     if share_graphs:
+        _PHASE["name"] = "share-graphs"
         handles, manifest = _export_grid_graphs(pipeline, missing)
     try:
         with ProcessPoolExecutor(
@@ -147,10 +194,13 @@ def run_grid(
         ) as pool:
             # Phase barriers are what make "exactly once" true: a phase's
             # artifacts are all published before any consumer starts.
+            _PHASE["name"] = "mapping"
             for deltas in pool.map(_worker_mapping, mapping_jobs):
                 _merge_deltas(pipeline, deltas)
+            _PHASE["name"] = "trace"
             for deltas in pool.map(_worker_trace, trace_jobs):
                 _merge_deltas(pipeline, deltas)
+            _PHASE["name"] = "cells"
             results = []
             for result, *deltas in pool.map(_worker_cell, cells):
                 _merge_deltas(pipeline, deltas)
@@ -163,14 +213,21 @@ def run_grid(
 
 
 def _merge_deltas(pipeline: CellPipeline, deltas: tuple) -> None:
-    """Fold one worker job's (profiler, store-stats) deltas into the parent.
+    """Fold one worker job's (profiler, store-stats, events) deltas in.
 
-    Keeps the grid's stage-timing breakdown and hit/miss accounting
-    coherent regardless of how jobs were distributed across processes.
+    Keeps the grid's stage-timing breakdown, hit/miss accounting and
+    span stream coherent regardless of how jobs were distributed across
+    processes.  Worker events land in the active run's ``events.jsonl``
+    when one is being observed, else in the parent tracer's buffer.
     """
-    profile_delta, store_delta = deltas
+    profile_delta, store_delta, events = deltas
     PROFILER.merge(profile_delta)
     pipeline.store.stats.merge(store_delta)
+    run = observability.current_run()
+    if run is not None:
+        run.write_events(events)
+    else:
+        TRACER.merge(events)
 
 
 #: Per-process pipeline reused across the jobs a grid worker receives, so
@@ -195,6 +252,9 @@ def _job_deltas(before_profile, before_store) -> tuple:
     return (
         diff_snapshots(PROFILER.snapshot(), before_profile),
         diff_store_snapshots(_WORKER.store.stats.snapshot(), before_store),
+        # Everything traced since the previous job (or worker start);
+        # the parent folds it into the run's merged event stream.
+        TRACER.drain(),
     )
 
 

@@ -15,14 +15,25 @@ aggregates one coherent breakdown no matter how the cells were
 distributed.  Cache hits count as (cheap) calls of the stage they
 short-circuit — a warm cache shows up as near-zero stage time, not as
 missing data.
+
+Since the observability subsystem landed, the profiler is a *consumer*
+of the span stream rather than an independent clock: :meth:`StageProfiler.stage`
+opens a span on the process-global :data:`repro.observability.TRACER`
+(tagged ``kind="stage"``) and records the span's measured wall time into
+its accumulators, and :meth:`StageProfiler.count_cache_hit` emits the
+matching ``kind="cache_hit"`` point event.  One measurement feeds both
+the per-run ``events.jsonl`` and this breakdown, so the two can never
+disagree about where the time went.
 """
 
 from __future__ import annotations
 
+import sys
 import threading
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass
+
+from repro.observability.tracing import TRACER
 
 __all__ = [
     "STAGES",
@@ -61,13 +72,23 @@ class StageProfiler:
         self._stages: dict[str, StageStats] = {}
 
     @contextmanager
-    def stage(self, name: str):
-        """Time a ``with`` block against stage ``name``."""
-        start = time.perf_counter()
+    def stage(self, name: str, **tags):
+        """Time a ``with`` block against stage ``name``.
+
+        The block runs inside a tracer span (``kind="stage"`` plus any
+        extra ``tags``); the span's wall clock is the single measurement
+        recorded here *and* streamed to the run's event log.
+        """
+        span_ctx = TRACER.span(name, kind="stage", **tags)
+        span = span_ctx.__enter__()
         try:
             yield
-        finally:
-            self.record(name, time.perf_counter() - start)
+        except BaseException:
+            span_ctx.__exit__(*sys.exc_info())
+            self.record(name, span.wall_s)
+            raise
+        span_ctx.__exit__(None, None, None)
+        self.record(name, span.wall_s)
 
     def record(
         self, name: str, seconds: float, calls: int = 1, cache_hits: int = 0
@@ -78,8 +99,9 @@ class StageProfiler:
             stats.seconds += seconds
             stats.cache_hits += cache_hits
 
-    def count_cache_hit(self, name: str) -> None:
+    def count_cache_hit(self, name: str, **tags) -> None:
         """Mark one call of ``name`` as served from cache (no extra time)."""
+        TRACER.event(name, kind="cache_hit", **tags)
         self.record(name, 0.0, calls=0, cache_hits=1)
 
     def snapshot(self) -> dict[str, StageStats]:

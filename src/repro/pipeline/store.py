@@ -44,6 +44,7 @@ evicts oldest-first down to a byte budget; ``repro-cache`` exposes
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import os
 import pickle
@@ -52,6 +53,8 @@ import struct
 import threading
 from dataclasses import dataclass
 from pathlib import Path
+
+from repro.observability.tracing import TRACER
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -102,6 +105,10 @@ class KindStats:
     misses: int = 0
     stores: int = 0
     quarantined: int = 0
+    #: Publishes that failed at the filesystem (e.g. full disk); the
+    #: computed value is still returned to the caller, so a sick disk
+    #: degrades to cache-less operation instead of killing the campaign.
+    put_errors: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
 
@@ -111,6 +118,7 @@ class KindStats:
             "misses": self.misses,
             "stores": self.stores,
             "quarantined": self.quarantined,
+            "put_errors": self.put_errors,
             "bytes_read": self.bytes_read,
             "bytes_written": self.bytes_written,
         }
@@ -145,6 +153,9 @@ class StoreStats:
 
     def record_quarantine(self, kind: str) -> None:
         self._bump(kind, quarantined=1)
+
+    def record_put_error(self, kind: str) -> None:
+        self._bump(kind, put_errors=1)
 
     def snapshot(self) -> dict[str, KindStats]:
         """Copy of the per-kind counters accumulated so far."""
@@ -234,13 +245,26 @@ class ArtifactStore:
             self._quarantine(path)
             self.stats.record_quarantine(kind)
             self.stats.record_miss(kind)
+            TRACER.event(
+                "store_quarantine",
+                kind="store_error",
+                artifact_kind=kind,
+                file=path.name,
+            )
             return None
         self.stats.record_hit(kind, len(raw))
         return envelope["value"]
 
-    def put(self, kind: str, key: object, value) -> Path:
-        """Store a value (unique temp + atomic rename; race-safe)."""
-        self.directory.mkdir(parents=True, exist_ok=True)
+    def put(self, kind: str, key: object, value) -> Path | None:
+        """Store a value (unique temp + atomic rename; race-safe).
+
+        A publish that fails at the filesystem — full disk, read-only
+        mount, permissions — is *recorded* (``put_errors`` counter plus
+        a ``store_put_error`` trace event) and returns ``None`` instead
+        of raising: the caller already holds the computed value, so the
+        right degradation is to keep running without the cache slot and
+        let the run manifest surface the sick store.
+        """
         path = self.path_for(kind, key)
         payload = pickle.dumps(
             {"schema": SCHEMA_VERSION, "kind": kind, "value": value},
@@ -248,11 +272,22 @@ class ArtifactStore:
         )
         tmp = path.with_name(f".{path.stem}.{os.getpid()}.{os.urandom(4).hex()}.tmp")
         try:
+            self.directory.mkdir(parents=True, exist_ok=True)
             with open(tmp, "wb") as handle:
                 handle.write(payload)
             os.replace(tmp, path)
+        except OSError as exc:
+            self.stats.record_put_error(kind)
+            TRACER.event(
+                "store_put_error",
+                kind="store_error",
+                artifact_kind=kind,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            return None
         finally:
-            tmp.unlink(missing_ok=True)
+            with contextlib.suppress(OSError):
+                tmp.unlink(missing_ok=True)
         self.stats.record_store(kind, len(payload))
         return path
 

@@ -56,15 +56,39 @@ def _human(nbytes: float) -> str:
     return f"{nbytes:.1f}GiB"  # pragma: no cover - loop always returns
 
 
+def _quarantined_files(store: ArtifactStore) -> list:
+    """Files under ``quarantine/`` (empty when absent or unreadable).
+
+    Listed defensively: a store directory that holds *only* quarantined
+    evidence (every addressable artifact was corrupt) must still be
+    inspectable — historically this case crashed ``ls``/``stats``.
+    """
+    quarantine = store.directory / "quarantine"
+    try:
+        return sorted(p for p in quarantine.iterdir() if p.is_file())
+    except OSError:
+        return []
+
+
 def _cmd_ls(store: ArtifactStore) -> int:
     entries = store.ls()
-    if not entries:
+    quarantined = _quarantined_files(store)
+    if not entries and not quarantined:
         print(f"{store.directory}: empty")
         return 0
     for info in entries:
         stamp = time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(info.mtime))
         print(f"{stamp}  {_human(info.nbytes):>10}  {info.kind:<10} {info.path.name}")
-    print(f"total: {len(entries)} artifacts, {_human(store.total_bytes())}")
+    for path in quarantined:
+        try:
+            size = path.stat().st_size
+        except OSError:
+            size = 0
+        print(f"{'(quarantined)':>19}  {_human(size):>10}  {'--':<10} {path.name}")
+    print(
+        f"total: {len(entries)} artifacts, {_human(store.total_bytes())}"
+        + (f" (+{len(quarantined)} quarantined)" if quarantined else "")
+    )
     return 0
 
 
@@ -78,12 +102,7 @@ def _cmd_stats(store: ArtifactStore) -> int:
     for kind in sorted(by_kind):
         sizes = by_kind[kind]
         print(f"  {kind:<10} {len(sizes):>6} artifacts  {_human(sum(sizes)):>10}")
-    quarantine = store.directory / "quarantine"
-    quarantined = (
-        sum(1 for p in quarantine.iterdir() if p.is_file())
-        if quarantine.is_dir()
-        else 0
-    )
+    quarantined = len(_quarantined_files(store))
     print(f"  quarantined {quarantined:>5} files")
     print(f"  total      {len(entries):>6} artifacts  {_human(store.total_bytes()):>10}")
     return 0

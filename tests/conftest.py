@@ -9,6 +9,16 @@ from repro.graph import from_edges
 from repro.graph.csr import Graph
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden end-to-end fixtures in "
+        "tests/integration/golden/ instead of comparing against them",
+    )
+
+
 def make_random_graph(
     num_vertices: int = 64,
     num_edges: int = 400,

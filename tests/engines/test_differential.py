@@ -1,0 +1,199 @@
+"""Cross-engine differential suite: every engine pair, one place.
+
+Each compiled-engine domain ships a readable reference (pure Python for
+the cache simulator, numpy for the trace and graph kernels) and a
+compiled C kernel verified bit-identical to it.  Earlier PRs scattered
+that guarantee across per-domain suites; this one parametrized suite
+drives hypothesis-generated graphs, traces and configurations through
+*all four kernel families* — simulate, trace-build, relabel, CSR build —
+and asserts byte-for-byte identical results across engines.
+
+The reference side is always executed, so the suite is meaningful on
+machines without a C compiler too (the fast side simply skips).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import engines
+from repro.cachesim import CacheGeometry, HierarchyConfig, simulate_trace
+from repro.framework.trace import AddressSpace, MemoryTrace, TraceBuilder
+from repro.graph import from_edges
+from repro.graph.csr import _build_dual_csr
+
+#: Engines differentially compared against "reference" per domain.
+ALTERNATES = ("fast",)
+
+
+def _needs(domain: str, engine: str) -> None:
+    if engine != "reference" and not engines.fast_available(domain):
+        pytest.skip(engines.unavailable_reason(domain) or "no compiled kernel")
+
+
+# -- generators ---------------------------------------------------------------
+
+@st.composite
+def random_edge_lists(draw):
+    """Multigraphs with self-loops, parallel edges, isolated vertices."""
+    n = draw(st.integers(min_value=1, max_value=48))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    weighted = draw(st.booleans())
+    rng = np.random.default_rng(seed)
+    m = draw(st.integers(min_value=0, max_value=4 * n))
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    weights = rng.uniform(-1e6, 1e6, size=m) if weighted else None
+    return n, src, dst, weights, seed
+
+
+@st.composite
+def random_traces(draw):
+    """Compressed trace streams: blocks, run counts, writes, cores."""
+    length = draw(st.integers(min_value=0, max_value=500))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    num_cores = draw(st.integers(min_value=1, max_value=44))
+    rng = np.random.default_rng(seed)
+    return MemoryTrace(
+        blocks=rng.integers(0, 400, size=length),
+        counts=rng.integers(1, 5, size=length),
+        writes=rng.random(length) < 0.3,
+        cores=rng.integers(0, num_cores, size=length).astype(np.int16),
+    )
+
+
+@st.composite
+def hierarchy_configs(draw):
+    """Tiny hierarchies (so evictions and snoops actually happen)."""
+    return HierarchyConfig(
+        l1=CacheGeometry(512, 2),
+        l2=CacheGeometry(2048, 4),
+        l3=CacheGeometry(8192, 8),
+        replacement=draw(st.sampled_from(["lru", "fifo", "lip"])),
+        ownership_blocks=draw(st.sampled_from([None, 4, 16, 0])),
+    )
+
+
+@st.composite
+def keyed_streams(draw):
+    """TraceBuilder inputs: several interleaved keyed access streams."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    num_streams = draw(st.integers(min_value=1, max_value=4))
+    rng = np.random.default_rng(seed)
+    space = AddressSpace()
+    region = space.region("prop", 512, 8)
+    streams = []
+    for _ in range(num_streams):
+        n = int(rng.integers(0, 300))
+        streams.append(
+            (
+                rng.integers(0, 512, size=n),
+                np.round(rng.uniform(0, 50, size=n) * 2) / 2,  # heavy key ties
+                rng.random(n) < 0.4,
+                rng.integers(0, 8, size=n),
+            )
+        )
+    return region, streams
+
+
+# -- the differential assertions ---------------------------------------------
+
+def sim_counters(trace, config, engine):
+    stats = simulate_trace(trace, config, engine=engine)
+    return (
+        stats.accesses,
+        stats.l1_misses,
+        stats.l2_misses,
+        stats.l3_misses,
+        dict(stats.l2_miss_breakdown),
+    )
+
+
+def assert_graphs_bitwise_equal(a, b) -> None:
+    assert a.num_vertices == b.num_vertices
+    assert a.num_edges == b.num_edges
+    for name in ("out_offsets", "out_targets", "in_offsets", "in_sources"):
+        left, right = getattr(a, name), getattr(b, name)
+        assert left.dtype == right.dtype, name
+        assert np.array_equal(left, right), name
+    assert a.is_weighted == b.is_weighted
+    if a.is_weighted:
+        assert a.out_weights.tobytes() == b.out_weights.tobytes()
+        assert a.in_weights.tobytes() == b.in_weights.tobytes()
+
+
+@pytest.mark.parametrize("engine", ALTERNATES)
+class TestDifferential:
+    """reference vs <engine>, all four kernel families."""
+
+    @given(trace=random_traces(), config=hierarchy_configs())
+    @settings(max_examples=40, deadline=None)
+    def test_simulate(self, engine, trace, config):
+        _needs("sim", engine)
+        assert sim_counters(trace, config, engine) == sim_counters(
+            trace, config, "reference"
+        )
+
+    @given(data=keyed_streams())
+    @settings(max_examples=40, deadline=None)
+    def test_trace_build(self, engine, data):
+        _needs("trace", engine)
+        region, streams = data
+        built = {}
+        for choice in ("reference", engine):
+            builder = TraceBuilder()
+            for indices, keys, writes, cores in streams:
+                builder.add(region, indices, keys, write=writes, core=cores)
+            built[choice] = builder.build(engine=choice).packed()
+        for ref_arr, fast_arr in zip(built["reference"], built[engine]):
+            assert ref_arr.dtype == fast_arr.dtype
+            assert ref_arr.tobytes() == fast_arr.tobytes()
+
+    @given(data=random_edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_build(self, engine, data):
+        _needs("graph", engine)
+        n, src, dst, weights, _ = data
+        ref = _build_dual_csr(n, src, dst, weights, stable=True, engine="reference")
+        alt = _build_dual_csr(n, src, dst, weights, stable=True, engine=engine)
+        assert_graphs_bitwise_equal(ref, alt)
+
+    @given(data=random_edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_relabel(self, engine, data):
+        _needs("graph", engine)
+        n, src, dst, weights, seed = data
+        graph = from_edges(n, np.stack([src, dst], axis=1), weights)
+        mapping = np.random.default_rng(seed).permutation(n)
+        ref = graph.relabel(mapping, engine="reference")
+        alt = graph.relabel(mapping, engine=engine)
+        assert_graphs_bitwise_equal(ref, alt)
+
+
+@pytest.mark.parametrize("engine", ALTERNATES)
+def test_end_to_end_cell_identical(engine, tmp_path, monkeypatch):
+    """One real (app, dataset, technique) cell, every domain forced at once.
+
+    The kernel-level properties above compose: forcing *all three*
+    domains to the alternate engine must reproduce the all-reference
+    cell counters exactly — the store deliberately excludes the engine
+    choice from its keys for exactly this reason.
+    """
+    for domain in engines.DOMAINS:
+        _needs(domain, engine)
+    from repro.pipeline import ArtifactStore
+    from repro.pipeline.cells import CellPipeline, ExperimentConfig
+
+    results = {}
+    for choice in ("reference", engine):
+        for var in ("REPRO_SIM_ENGINE", "REPRO_TRACE_ENGINE", "REPRO_GRAPH_ENGINE"):
+            monkeypatch.setenv(var, choice)
+        pipeline = CellPipeline(
+            ExperimentConfig(scale=0.15, num_roots=1),
+            store=ArtifactStore(tmp_path / choice),
+        )
+        results[choice] = pipeline.cell("PR", "wl", "DBG")
+    assert results["reference"] == results[engine]

@@ -1,0 +1,93 @@
+"""Golden end-to-end regression cells: exact counters, frozen on disk.
+
+One small (app, dataset, technique) cell per application family runs the
+*entire* pipeline — generate, reorder, relabel, trace, simulate, model —
+and is compared against a committed JSON fixture down to the exact miss
+count.  Any change to a kernel, a generator seed, the address-space
+layout or the cache model shows up here as a precise counter diff
+instead of a vague "Table 2 moved".
+
+When a change is *intentional* (e.g. a deliberate model fix), regenerate
+the fixtures and review the diff like any other code change::
+
+    PYTHONPATH=src python -m pytest tests/integration/test_golden.py --update-golden
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.pipeline import ArtifactStore
+from repro.pipeline.cells import CellPipeline, ExperimentConfig
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: One representative cell per app family: iterative (PR), unweighted
+#: traversal (BFS), weighted traversal with root sampling (SSSP).
+CELLS = [
+    ("PR", "wl", "DBG"),
+    ("BFS", "wl", "HubSort"),
+    ("SSSP", "wl", "Sort"),
+]
+
+#: Floats in the result (modelled cycles, MPKI) are derived from integer
+#: counters via float arithmetic; they are deterministic, but compare
+#: with a tolerance so the fixtures stay portable across libm builds.
+FLOAT_RTOL = 1e-9
+
+
+def fixture_path(app: str, dataset: str, technique: str) -> Path:
+    return GOLDEN_DIR / f"{app.lower()}_{dataset}_{technique.lower()}.json"
+
+
+def compute_cell(tmp_path: Path, app: str, dataset: str, technique: str) -> dict:
+    pipeline = CellPipeline(
+        ExperimentConfig(scale=0.25, num_roots=1),
+        store=ArtifactStore(tmp_path / "store"),
+    )
+    result = pipeline.cell(app, dataset, technique)
+    return {name: getattr(result, name) for name in result.__dataclass_fields__}
+
+
+def assert_matches_golden(actual, golden, path="result"):
+    """Exact for ints/strs/dict-shapes, FLOAT_RTOL for floats."""
+    if isinstance(golden, dict):
+        assert isinstance(actual, dict), path
+        assert sorted(actual) == sorted(golden), path
+        for key in golden:
+            assert_matches_golden(actual[key], golden[key], f"{path}.{key}")
+    elif isinstance(golden, bool) or isinstance(golden, str):
+        assert actual == golden, path
+    elif isinstance(golden, int):
+        assert actual == golden, (
+            f"{path}: exact counter changed: {actual!r} != golden {golden!r}"
+        )
+    elif isinstance(golden, float):
+        assert actual == pytest.approx(golden, rel=FLOAT_RTOL), path
+    else:  # pragma: no cover - fixtures only contain the above
+        assert actual == golden, path
+
+
+@pytest.mark.parametrize("app,dataset,technique", CELLS)
+def test_golden_cell(app, dataset, technique, tmp_path, request):
+    path = fixture_path(app, dataset, technique)
+    actual = compute_cell(tmp_path, app, dataset, technique)
+    if request.config.getoption("--update-golden"):
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"rewrote {path.name}")
+    assert path.exists(), (
+        f"missing golden fixture {path.name}; run with --update-golden"
+    )
+    golden = json.loads(path.read_text())
+    assert_matches_golden(actual, golden)
+
+
+def test_golden_fixtures_all_committed():
+    """Every parametrized cell has its fixture checked in (and no strays)."""
+    expected = {fixture_path(*cell).name for cell in CELLS}
+    present = {p.name for p in GOLDEN_DIR.glob("*.json")}
+    assert present == expected

@@ -1,0 +1,98 @@
+"""Metrics registry unit tests: instruments, snapshot/diff/merge, adapters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observability.metrics import (
+    MetricsRegistry,
+    absorb_store_stats,
+    diff_metrics,
+)
+from repro.pipeline.store import StoreStats
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestInstruments:
+    def test_counters_accumulate(self, registry):
+        registry.inc("store.hits")
+        registry.inc("store.hits", 4)
+        assert registry.counter("store.hits") == 5
+        assert registry.counter("never.touched") == 0
+
+    def test_counters_reject_negative(self, registry):
+        with pytest.raises(ValueError):
+            registry.inc("store.hits", -1)
+
+    def test_gauges_keep_last_value(self, registry):
+        registry.set_gauge("workers", 2)
+        registry.set_gauge("workers", 4)
+        assert registry.gauge("workers") == 4
+        assert registry.gauge("missing") is None
+
+    def test_histogram_tracks_distribution(self, registry):
+        for value in (0.5, 1.5, 8.0):
+            registry.observe("stage.seconds", value)
+        hist = registry.histogram("stage.seconds")
+        assert hist["count"] == 3
+        assert hist["min"] == 0.5
+        assert hist["max"] == 8.0
+        assert hist["sum"] == pytest.approx(10.0)
+        assert hist["mean"] == pytest.approx(10.0 / 3)
+
+
+class TestSnapshotDiffMerge:
+    def test_snapshot_shape(self, registry):
+        registry.inc("c")
+        registry.set_gauge("g", 1)
+        registry.observe("h", 2.0)
+        snap = registry.snapshot()
+        assert set(snap) == {"counters", "gauges", "histograms"}
+        assert snap["counters"]["c"] == 1
+
+    def test_diff_is_counter_delta(self, registry):
+        registry.inc("c", 3)
+        before = registry.snapshot()
+        registry.inc("c", 2)
+        registry.inc("new", 1)
+        delta = diff_metrics(registry.snapshot(), before)
+        assert delta["counters"]["c"] == 2
+        assert delta["counters"]["new"] == 1
+
+    def test_merge_folds_worker_snapshot(self, registry):
+        worker = MetricsRegistry()
+        worker.inc("c", 5)
+        worker.set_gauge("peak", 9)
+        worker.observe("h", 1.0)
+        registry.inc("c", 1)
+        registry.set_gauge("peak", 3)
+        registry.observe("h", 4.0)
+        registry.merge(worker.snapshot())
+        assert registry.counter("c") == 6
+        assert registry.gauge("peak") == 9  # gauges merge by max
+        assert registry.histogram("h")["count"] == 2
+
+    def test_reset(self, registry):
+        registry.inc("c")
+        registry.reset()
+        assert registry.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+
+class TestAdapters:
+    def test_absorb_store_stats_namespaces_counters(self, registry):
+        stats = StoreStats()
+        stats.record_hit("mapping", 100)
+        stats.record_miss("mapping")
+        stats.record_put_error("trace")
+        absorb_store_stats(registry, stats)
+        assert registry.counter("store.mapping.hits") == 1
+        assert registry.counter("store.mapping.misses") == 1
+        assert registry.counter("store.trace.put_errors") == 1

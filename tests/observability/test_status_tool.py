@@ -1,0 +1,141 @@
+"""Tests for the ``repro-status`` CLI (and its partial-run tolerance)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import observability
+from repro.observability import TRACER, start_run
+from repro.tools.status_tool import main
+
+
+def make_run(runs, run_id, *, stage_seconds=(), fail=None, manifest=True):
+    """A finished run directory with synthetic stage spans."""
+    with start_run(runs, run_id=run_id) as run:
+        for stage in stage_seconds:
+            with TRACER.span(stage, kind="stage"):
+                pass
+        TRACER.event("cell", kind="cache_hit", app="PR")
+        if fail:
+            run.record_failure(*fail)
+    if not manifest:
+        (runs / run_id / "manifest.json").unlink()
+    return runs / run_id
+
+
+@pytest.fixture
+def runs(tmp_path):
+    return tmp_path / "runs"
+
+
+class TestSummary:
+    def test_summary_of_finished_run(self, runs, capsys):
+        make_run(runs, "r1", stage_seconds=("trace", "simulate"))
+        assert main(["--runs-dir", str(runs), "summary", "r1"]) == 0
+        out = capsys.readouterr().out
+        assert "run:      r1" in out
+        assert "status:   ok" in out
+        assert "trace" in out and "simulate" in out
+        assert "1 cached" in out  # the cache_hit event
+
+    def test_summary_defaults_to_latest_run(self, runs, capsys):
+        make_run(runs, "2026a")
+        make_run(runs, "2026b")
+        assert main(["--runs-dir", str(runs), "summary"]) == 0
+        assert "run:      2026b" in capsys.readouterr().out
+
+    def test_summary_shows_failures(self, runs, capsys):
+        make_run(runs, "rf", fail=("mapping", "RuntimeError: boom"))
+        assert main(["--runs-dir", str(runs), "summary", "rf"]) == 0
+        out = capsys.readouterr().out
+        assert "status:   failed" in out
+        assert "FAILURE:  [mapping] RuntimeError: boom" in out
+
+    def test_summary_partial_run_without_manifest(self, runs, capsys):
+        make_run(runs, "rp", stage_seconds=("trace",), manifest=False)
+        assert main(["--runs-dir", str(runs), "summary", "rp"]) == 0
+        out = capsys.readouterr().out
+        assert "[partial: no manifest]" in out
+        assert "trace" in out
+
+    def test_summary_empty_run_dir(self, runs, capsys):
+        (runs / "hollow").mkdir(parents=True)
+        assert main(["--runs-dir", str(runs), "summary", "hollow"]) == 0
+        out = capsys.readouterr().out
+        assert "[partial: no manifest]" in out
+        assert "(no stage spans recorded)" in out
+
+    def test_unknown_run_is_an_error(self, runs, capsys):
+        runs.mkdir(parents=True)
+        assert main(["--runs-dir", str(runs), "summary", "nope"]) == 2
+        assert "no run" in capsys.readouterr().err
+
+    def test_accepts_path_instead_of_id(self, runs, capsys):
+        run_dir = make_run(runs, "by-path")
+        assert main(["--runs-dir", str(runs / "x"), "summary", str(run_dir)]) == 0
+        assert "by-path" in capsys.readouterr().out
+
+
+class TestSpansAndEvents:
+    def test_spans_sorted_and_limited(self, runs, capsys):
+        make_run(runs, "rs", stage_seconds=("trace", "simulate", "model"))
+        assert main(["--runs-dir", str(runs), "spans", "rs", "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "spans total" in out
+        assert len([l for l in out.splitlines() if l.endswith(("trace", "simulate", "model"))]) <= 2
+
+    def test_spans_stage_filter(self, runs, capsys):
+        make_run(runs, "rs2", stage_seconds=("trace", "simulate"))
+        assert main(
+            ["--runs-dir", str(runs), "spans", "rs2", "--stage", "trace"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "trace" in out
+        assert "simulate" not in out
+
+    def test_events_kind_filter(self, runs, capsys):
+        make_run(runs, "re", stage_seconds=("trace",))
+        assert main(
+            ["--runs-dir", str(runs), "events", "re", "--kind", "cache_hit"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cell" in out and "app=PR" in out
+        assert "trace" not in out
+
+    def test_events_no_match(self, runs, capsys):
+        make_run(runs, "re2")
+        assert main(
+            ["--runs-dir", str(runs), "events", "re2", "--stage", "nothing"]
+        ) == 0
+        assert "no matching events" in capsys.readouterr().out
+
+
+class TestDiff:
+    def test_cold_vs_warm_reports_zero_recompute(self, runs, capsys):
+        make_run(runs, "cold", stage_seconds=("mapping", "trace", "simulate"))
+        make_run(runs, "warm")  # only cache-hit events, no stage spans
+        assert main(["--runs-dir", str(runs), "diff", "cold", "warm"]) == 0
+        out = capsys.readouterr().out
+        assert "recompute spans: 3 -> 0" in out
+        assert "replayed entirely from the store" in out
+
+    def test_diff_against_partial_run_uses_raw_events(self, runs, capsys):
+        make_run(runs, "full", stage_seconds=("trace",))
+        make_run(runs, "part", stage_seconds=("trace",), manifest=False)
+        assert main(["--runs-dir", str(runs), "diff", "full", "part"]) == 0
+        assert "recompute spans: 1 -> 1" in capsys.readouterr().out
+
+    def test_diff_unknown_run_errors(self, runs, capsys):
+        make_run(runs, "only")
+        assert main(["--runs-dir", str(runs), "diff", "only", "ghost"]) == 2
+        assert "unknown run" in capsys.readouterr().err
+
+
+class TestRunsDirResolution:
+    def test_env_var_default(self, runs, monkeypatch, capsys):
+        make_run(runs, "env-run")
+        monkeypatch.setenv(observability.run.RUNS_DIR_ENV, str(runs))
+        assert main(["summary"]) == 0
+        assert "env-run" in capsys.readouterr().out

@@ -78,3 +78,36 @@ class TestCommands:
         ArtifactStore().put("cell", "k", 1)
         assert main(["ls"]) == 0
         assert "cell-" in capsys.readouterr().out
+
+
+class TestQuarantineOnlyStore:
+    """Regression: a store holding *only* quarantined artifacts is inspectable."""
+
+    @pytest.fixture
+    def poisoned(self, tmp_path):
+        """Every addressable artifact was corrupt and got quarantined."""
+        store = ArtifactStore(tmp_path / "store")
+        for key in ("a", "b"):
+            path = store.put("mapping", key, [1, 2, 3])
+            path.write_bytes(b"garbage")
+            assert store.get("mapping", key) is None  # quarantines
+        assert store.ls() == []
+        return store
+
+    def test_ls_reports_quarantined_instead_of_empty(self, poisoned, capsys):
+        assert main(["--dir", str(poisoned.directory), "ls"]) == 0
+        out = capsys.readouterr().out
+        assert "empty" not in out
+        assert out.count("(quarantined)") == 2
+        assert "0 artifacts" in out and "+2 quarantined" in out
+
+    def test_stats_counts_quarantined_files(self, poisoned, capsys):
+        assert main(["--dir", str(poisoned.directory), "stats"]) == 0
+        assert "quarantined     2 files" in capsys.readouterr().out
+
+    def test_mixed_store_lists_both(self, poisoned, capsys):
+        poisoned.put("cell", "good", {"v": 1})
+        assert main(["--dir", str(poisoned.directory), "ls"]) == 0
+        out = capsys.readouterr().out
+        assert "cell" in out
+        assert "1 artifacts" in out and "+2 quarantined" in out
