@@ -40,8 +40,10 @@ from typing import Callable
 __all__ = [
     "KernelUnavailable",
     "LazyKernel",
+    "BASE_CFLAGS",
     "kernel_build_dir",
     "find_compiler",
+    "cache_key",
     "compile_shared_library",
     "load_shared_library",
 ]
@@ -49,6 +51,12 @@ __all__ = [
 
 class KernelUnavailable(RuntimeError):
     """A compiled kernel could not be built or loaded."""
+
+
+#: Flags every kernel build gets.  Extra per-kernel flags (``-pthread``,
+#: feature macros) are appended by the caller and folded into the cache
+#: key, so changing the flag set can never resurface a stale ``.so``.
+BASE_CFLAGS = ("-O3", "-shared", "-fPIC")
 
 
 def kernel_build_dir() -> Path:
@@ -70,7 +78,9 @@ def find_compiler() -> str | None:
     return None
 
 
-def compile_shared_library(source: Path, lib_path: Path) -> None:
+def compile_shared_library(
+    source: Path, lib_path: Path, flags: tuple[str, ...] = ()
+) -> None:
     """Compile ``source`` into the shared library at ``lib_path``."""
     compiler = find_compiler()
     if compiler is None:
@@ -81,7 +91,7 @@ def compile_shared_library(source: Path, lib_path: Path) -> None:
     tmp = lib_path.with_name(
         f".{lib_path.name}.{os.getpid()}.{os.urandom(4).hex()}.tmp"
     )
-    cmd = [compiler, "-O3", "-shared", "-fPIC", "-o", str(tmp), str(source)]
+    cmd = [compiler, *BASE_CFLAGS, *flags, "-o", str(tmp), str(source)]
     try:
         proc = subprocess.run(cmd, capture_output=True, text=True, timeout=120)
     except (OSError, subprocess.TimeoutExpired) as exc:
@@ -94,14 +104,30 @@ def compile_shared_library(source: Path, lib_path: Path) -> None:
     os.replace(tmp, lib_path)
 
 
-def load_shared_library(source: Path, stem: str) -> ctypes.CDLL:
-    """Compile (if not cached by source hash) and ``dlopen`` a kernel."""
-    digest = hashlib.sha256(source.read_bytes()).hexdigest()[:16]
+def cache_key(source: Path, flags: tuple[str, ...] = ()) -> str:
+    """Content digest naming a cached build: source bytes *and* flags.
+
+    The full compiler invocation (base flags + per-kernel extras such as
+    ``-pthread`` or thread-support macros) is hashed alongside the source
+    so a flag change — e.g. a kernel gaining threading — can never load a
+    stale library compiled under the old flag set.
+    """
+    hasher = hashlib.sha256(source.read_bytes())
+    for flag in (*BASE_CFLAGS, *flags):
+        hasher.update(b"\0" + flag.encode())
+    return hasher.hexdigest()[:16]
+
+
+def load_shared_library(
+    source: Path, stem: str, flags: tuple[str, ...] = ()
+) -> ctypes.CDLL:
+    """Compile (if not cached by source+flags hash) and ``dlopen`` a kernel."""
+    digest = cache_key(source, flags)
     lib_path = kernel_build_dir() / (
         f"{stem}-{digest}-py{sys.version_info[0]}{sys.version_info[1]}.so"
     )
     if not lib_path.exists():
-        compile_shared_library(source, lib_path)
+        compile_shared_library(source, lib_path, flags)
     return ctypes.CDLL(str(lib_path))
 
 
@@ -115,11 +141,16 @@ class LazyKernel:
     """
 
     def __init__(
-        self, source: Path, stem: str, configure: Callable[[ctypes.CDLL], None]
+        self,
+        source: Path,
+        stem: str,
+        configure: Callable[[ctypes.CDLL], None],
+        flags: tuple[str, ...] = (),
     ) -> None:
         self._source = source
         self._stem = stem
         self._configure = configure
+        self._flags = tuple(flags)
         self._lock = threading.Lock()
         self._state: ctypes.CDLL | Exception | None = None
 
@@ -131,7 +162,7 @@ class LazyKernel:
             if isinstance(self._state, Exception):
                 raise KernelUnavailable(str(self._state)) from self._state
             try:
-                lib = load_shared_library(self._source, self._stem)
+                lib = load_shared_library(self._source, self._stem, self._flags)
                 self._configure(lib)
             except Exception as exc:
                 self._state = exc

@@ -8,12 +8,14 @@ from repro.pipeline.sharedgraph import (  # noqa: F401
     SharedMemoryUnavailable,
     attach_graphs,
     export_graphs,
+    export_graphs_mmap,
     release_graphs,
 )
 
 __all__ = [
     "SharedMemoryUnavailable",
     "export_graphs",
+    "export_graphs_mmap",
     "attach_graphs",
     "release_graphs",
 ]

@@ -171,6 +171,28 @@ class GraphApp:
             detail={"direction": step.direction, "edges": edges, "active": active_count},
         )
 
+    def trace_streaming(
+        self,
+        graph: Graph,
+        plan: TracePlan,
+        chunk_edges: int | None = None,
+        engine: str | None = None,
+        threads: int | None = None,
+    ) -> AppTrace:
+        """Streaming variant of :meth:`trace` for the fused pipeline stage.
+
+        The returned ``AppTrace`` wraps a
+        :class:`~repro.framework.trace.StreamingTrace` that yields the
+        exact run sequence of the monolithic build in bounded chunks —
+        see :mod:`repro.apps.streaming` for the equivalence argument.
+        """
+        from repro.apps import streaming
+
+        kwargs = {} if chunk_edges is None else {"chunk_edges": chunk_edges}
+        return streaming.streaming_trace(
+            self, graph, plan, engine=engine, threads=threads, **kwargs
+        )
+
     # -- internals ---------------------------------------------------------
     def _gather(self, graph: Graph, active: np.ndarray | None, direction: str):
         """Edge endpoints, edge-array positions and per-edge owners for the

@@ -26,7 +26,7 @@ import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
-from repro.framework.trace import MemoryTrace
+from repro.framework.trace import MemoryTrace, StreamingTrace
 
 __all__ = [
     "CacheGeometry",
@@ -40,7 +40,7 @@ __all__ = [
 ]
 
 #: Recognized simulation engines (see :func:`simulate_trace`).
-ENGINES = ("auto", "fast", "reference")
+ENGINES = ("auto", "fast", "fast-threaded", "reference")
 
 
 @dataclass(frozen=True)
@@ -158,30 +158,53 @@ def resolve_engine(
 
 
 def simulate_trace(
-    trace: MemoryTrace,
+    trace: MemoryTrace | StreamingTrace,
     config: HierarchyConfig = DEFAULT_HIERARCHY,
     engine: str | None = None,
+    threads: int | None = None,
 ) -> CacheStats:
     """Run a compressed trace through the hierarchy; returns counters.
 
     Dispatches to the compiled fast engine or the pure-Python reference
     loop (:func:`simulate_trace_reference`) according to ``engine`` /
-    ``REPRO_SIM_ENGINE`` / ``config.engine``; both produce bit-identical
-    counters.  Every call is accounted to :mod:`repro.cachesim.stats`.
+    ``REPRO_SIM_ENGINE`` / ``config.engine``; all engines produce
+    bit-identical counters.  ``fast-threaded`` runs the pthread-chunked
+    kernel with ``threads`` workers (default: ``REPRO_KERNEL_THREADS``,
+    else the CPU count).  A :class:`StreamingTrace` is consumed chunk by
+    chunk through the kernel's persistent state, so the full trace is
+    never materialized (the reference loop, which has no incremental
+    entry point, materializes it).  Every call is accounted to
+    :mod:`repro.cachesim.stats`.
     """
     from repro.cachesim import stats as simstats
 
     choice = resolve_engine(engine, config)
+    streaming = isinstance(trace, StreamingTrace)
     if choice != "reference":
         from repro.cachesim import fast
 
-        if choice == "fast" or fast.fast_available():
+        if choice in ("fast", "fast-threaded") or fast.fast_available():
+            if choice == "fast-threaded":
+                from repro import engines
+
+                threads = engines.resolve_kernel_threads(threads)
             start = time.perf_counter()
-            result = fast.simulate_trace_fast(trace, config)
+            if streaming:
+                with fast.FastSimulator(config, threads=threads) as sim:
+                    runs = 0
+                    for blocks, counts, writes, cores in trace.chunks():
+                        sim.step(blocks, counts, writes, cores)
+                        runs += blocks.size
+                    result = sim.stats()
+            else:
+                runs = len(trace)
+                result = fast.simulate_trace_fast(trace, config, threads=threads)
             simstats.record(
-                "fast", len(trace), result.accesses, time.perf_counter() - start
+                "fast", runs, result.accesses, time.perf_counter() - start
             )
             return result
+    if streaming:
+        trace = trace.materialize()
     start = time.perf_counter()
     result = simulate_trace_reference(trace, config)
     simstats.record(

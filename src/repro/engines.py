@@ -38,17 +38,24 @@ from dataclasses import dataclass
 
 __all__ = [
     "ENGINE_CHOICES",
+    "THREADS_ENV",
     "EngineDomain",
     "DOMAINS",
     "resolve",
+    "resolve_kernel_threads",
     "validate_env",
     "fast_available",
     "unavailable_reason",
     "status",
 ]
 
-#: The three recognized values, shared by every domain.
-ENGINE_CHOICES = ("auto", "fast", "reference")
+#: The recognized values, shared by every domain.  ``fast-threaded``
+#: selects the pthread-chunked kernel variants; results stay bit-identical
+#: to ``fast`` and ``reference`` (verified by the differential suite).
+ENGINE_CHOICES = ("auto", "fast", "fast-threaded", "reference")
+
+#: Campaign-wide worker-thread count for the ``fast-threaded`` kernels.
+THREADS_ENV = "REPRO_KERNEL_THREADS"
 
 
 @dataclass(frozen=True)
@@ -122,6 +129,35 @@ def resolve(domain: str, explicit: str | None = None, fallback: str | None = Non
     return choice
 
 
+def resolve_kernel_threads(
+    explicit: int | None = None, fallback: int | None = None
+) -> int:
+    """Worker-thread count for the ``fast-threaded`` kernels.
+
+    Same precedence chain as :func:`resolve`: explicit argument >
+    ``REPRO_KERNEL_THREADS`` > configured fallback > auto (the machine's
+    CPU count).  The result is clamped to at least 1; non-integer or
+    non-positive environment values raise :class:`ValueError` naming the
+    variable.
+    """
+    if explicit is not None:
+        return max(1, int(explicit))
+    env = os.environ.get(THREADS_ENV)
+    if env:
+        try:
+            value = int(env)
+        except ValueError:
+            raise ValueError(
+                f"{THREADS_ENV}={env!r} is not an integer"
+            ) from None
+        if value < 1:
+            raise ValueError(f"{THREADS_ENV}={env!r} must be >= 1")
+        return value
+    if fallback is not None:
+        return max(1, int(fallback))
+    return max(1, os.cpu_count() or 1)
+
+
 def validate_env(domains: tuple[str, ...] | None = None) -> dict[str, str]:
     """Eagerly validate the engine environment variables.
 
@@ -129,8 +165,10 @@ def validate_env(domains: tuple[str, ...] | None = None) -> dict[str, str]:
     (default: all).  Raises :class:`ValueError` on the first unknown
     value, naming the offending variable — called at campaign startup
     (CLI, ``run_grid``) so a typo like ``REPRO_SIM_ENGINE=fastest``
-    fails loudly before any worker is spawned.
+    fails loudly before any worker is spawned.  ``REPRO_KERNEL_THREADS``
+    is validated alongside the engine variables.
     """
+    resolve_kernel_threads()
     return {name: resolve(name) for name in (domains or tuple(DOMAINS))}
 
 
@@ -159,4 +197,9 @@ def status() -> dict[str, dict]:
             "fast_available": fast_available(name),
             "unavailable_reason": unavailable_reason(name),
         }
+    report["kernel_threads"] = {
+        "env_var": THREADS_ENV,
+        "env_value": os.environ.get(THREADS_ENV),
+        "resolved": resolve_kernel_threads(),
+    }
     return report

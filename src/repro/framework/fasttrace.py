@@ -40,13 +40,14 @@ __all__ = [
     "resolve_trace_engine",
     "fast_available",
     "kernel_unavailable_reason",
+    "resolve_threads",
     "ragged_gather",
     "trace_build_fast",
     "gorder_place_fast",
 ]
 
 #: Recognized trace-construction engines (mirrors ``cachesim.ENGINES``).
-TRACE_ENGINES = ("auto", "fast", "reference")
+TRACE_ENGINES = ("auto", "fast", "fast-threaded", "reference")
 
 #: Throughput counters for ``TraceBuilder.build`` calls, per engine
 #: (``runs`` = compressed output runs, ``accesses`` = input stream
@@ -61,10 +62,19 @@ _U8 = ctypes.POINTER(ctypes.c_uint8)
 
 def _configure(lib: ctypes.CDLL) -> None:
     i64 = ctypes.c_int64
+    i32 = ctypes.c_int32
     lib.repro_gather.argtypes = [_I64, _I32, _I64, i64, _I64, _I64, _I64]
     lib.repro_gather.restype = None
+    lib.repro_gather_threaded.argtypes = [
+        _I64, _I32, _I64, i64, _I64, _I64, _I64, i32,
+    ]
+    lib.repro_gather_threaded.restype = None
     lib.repro_trace_build.argtypes = [_I64, _F64, _U8, _I64, i64, _I64, _I64, _U8, _I64]
     lib.repro_trace_build.restype = i64
+    lib.repro_trace_build_threaded.argtypes = [
+        _I64, _F64, _U8, _I64, i64, _I64, _I64, _U8, _I64, i32,
+    ]
+    lib.repro_trace_build_threaded.restype = i64
     lib.repro_gorder.argtypes = [
         _I64,
         _I32,
@@ -80,7 +90,10 @@ def _configure(lib: ctypes.CDLL) -> None:
 
 
 _KERNEL = LazyKernel(
-    Path(__file__).with_name("_fasttrace.c"), "fasttrace", _configure
+    Path(__file__).with_name("_fasttrace.c"),
+    "fasttrace",
+    _configure,
+    flags=("-pthread",),
 )
 
 
@@ -113,16 +126,30 @@ def _reset_kernel_cache() -> None:
 def use_fast(engine: str | None = None) -> bool:
     """Resolve dispatch: True to run the kernel, False for the reference.
 
-    Raises :class:`KernelUnavailable` when ``fast`` is requested
-    explicitly but the kernel cannot be built.
+    Raises :class:`KernelUnavailable` when ``fast`` (or ``fast-threaded``)
+    is requested explicitly but the kernel cannot be built.
     """
     choice = resolve_trace_engine(engine)
     if choice == "reference":
         return False
-    if choice == "fast":
+    if choice in ("fast", "fast-threaded"):
         _KERNEL.load()  # raise with the real reason when unavailable
         return True
     return fast_available()
+
+
+def resolve_threads(engine: str | None, threads: int | None) -> int:
+    """Worker count for a kernel call: 1 unless ``fast-threaded`` is chosen.
+
+    When the resolved engine is ``fast-threaded``, ``threads`` (explicit >
+    ``REPRO_KERNEL_THREADS`` > CPU count) selects the pthread variant;
+    otherwise the serial kernel runs.  Results are bit-identical either way.
+    """
+    if resolve_trace_engine(engine) != "fast-threaded":
+        return 1
+    from repro import engines
+
+    return engines.resolve_kernel_threads(threads)
 
 
 # ---------------------------------------------------------------- gather
@@ -142,7 +169,7 @@ def _ragged_gather_reference(offsets, endpoints, ids):
     return lengths, positions, others, repeats
 
 
-def _ragged_gather_fast(offsets, endpoints, ids):
+def _ragged_gather_fast(offsets, endpoints, ids, threads=1):
     lib = _KERNEL.load()
     lengths = (offsets[ids + 1] - offsets[ids]).astype(np.int64)
     total = int(lengths.sum())
@@ -152,7 +179,7 @@ def _ragged_gather_fast(offsets, endpoints, ids):
     positions = np.empty(total, dtype=np.int64)
     others = np.empty(total, dtype=np.int64)
     repeats = np.empty(total, dtype=np.int64)
-    lib.repro_gather(
+    args = (
         offsets.ctypes.data_as(_I64),
         endpoints.ctypes.data_as(_I32),
         ids.ctypes.data_as(_I64),
@@ -161,6 +188,10 @@ def _ragged_gather_fast(offsets, endpoints, ids):
         others.ctypes.data_as(_I64),
         repeats.ctypes.data_as(_I64),
     )
+    if threads > 1:
+        lib.repro_gather_threaded(*args, threads)
+    else:
+        lib.repro_gather(*args)
     return lengths, positions, others, repeats
 
 
@@ -169,22 +200,26 @@ def ragged_gather(
     endpoints: np.ndarray,
     ids: np.ndarray,
     engine: str | None = None,
+    threads: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Expand the CSR ranges of ``ids``, in order.
 
     Returns ``(lengths, positions, others, repeats)``: per-id range
     lengths, each edge's index into the edge array, its endpoint, and the
     id it belongs to (``np.repeat(ids, lengths)``).  Engines are
-    element-for-element identical.
+    element-for-element identical; ``fast-threaded`` splits the id range
+    across ``threads`` workers writing disjoint output slices.
     """
     offsets = np.ascontiguousarray(offsets, dtype=np.int64)
     endpoints = np.ascontiguousarray(endpoints, dtype=np.int32)
     ids = np.ascontiguousarray(ids, dtype=np.int64)
     try:
         if use_fast(engine):
-            return _ragged_gather_fast(offsets, endpoints, ids)
+            return _ragged_gather_fast(
+                offsets, endpoints, ids, threads=resolve_threads(engine, threads)
+            )
     except KernelUnavailable:
-        if resolve_trace_engine(engine) == "fast":
+        if resolve_trace_engine(engine) in ("fast", "fast-threaded"):
             raise
     return _ragged_gather_reference(offsets, endpoints, ids)
 
@@ -192,12 +227,13 @@ def ragged_gather(
 # ----------------------------------------------------------- trace build
 
 
-def trace_build_fast(blocks, keys, writes, cores):
+def trace_build_fast(blocks, keys, writes, cores, threads: int = 1):
     """Merge + run-length-compress concatenated keyed streams (kernel).
 
     Inputs are the concatenated per-stream arrays; keys must be finite.
     Returns ``(blocks, counts, writes, cores)`` exactly as the numpy
-    reference in :meth:`TraceBuilder.build` produces them.  Raises
+    reference in :meth:`TraceBuilder.build` produces them; ``threads > 1``
+    runs the parallel stable-radix variant (same bytes out).  Raises
     :class:`KernelUnavailable` when the kernel cannot be built.
     """
     lib = _KERNEL.load()
@@ -213,7 +249,7 @@ def trace_build_fast(blocks, keys, writes, cores):
     out_counts = np.empty(n, dtype=np.int64)
     out_writes = np.empty(n, dtype=np.uint8)
     out_cores = np.empty(n, dtype=np.int64)
-    runs = lib.repro_trace_build(
+    args = (
         blocks.ctypes.data_as(_I64),
         keys.ctypes.data_as(_F64),
         writes_u8.ctypes.data_as(_U8),
@@ -224,6 +260,10 @@ def trace_build_fast(blocks, keys, writes, cores):
         out_writes.ctypes.data_as(_U8),
         out_cores.ctypes.data_as(_I64),
     )
+    if threads > 1:
+        runs = lib.repro_trace_build_threaded(*args, threads)
+    else:
+        runs = lib.repro_trace_build(*args)
     if runs < 0:
         raise MemoryError("trace-build kernel ran out of memory")
     if 2 * runs >= n:

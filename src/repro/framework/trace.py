@@ -22,7 +22,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["Region", "AddressSpace", "TraceBuilder", "MemoryTrace", "AppTrace"]
+__all__ = [
+    "Region",
+    "AddressSpace",
+    "TraceBuilder",
+    "MemoryTrace",
+    "StreamingTrace",
+    "AppTrace",
+]
 
 #: Cache block size in bytes, matching the paper's assumption.
 BLOCK_BYTES = 64
@@ -117,6 +124,110 @@ class MemoryTrace:
             )
 
 
+class StreamingTrace:
+    """A compressed trace delivered as chunks, never fully materialized.
+
+    ``chunk_factory`` is a zero-argument callable returning an iterator of
+    :class:`MemoryTrace` chunks that, concatenated, cover the whole trace
+    in time order.  The producer compresses each chunk independently, so
+    a run can be split across a chunk seam; :meth:`chunks` re-merges those
+    seams by holding back each chunk's final run.  Per-chunk compression
+    is maximal and seam merges restore the cross-chunk merges, so the
+    streamed run sequence is *bit-identical* to the run sequence of the
+    monolithic trace — simulating it chunk by chunk gives exactly the
+    counters of the materialized path, for every replacement policy.
+
+    Peak memory is one chunk plus producer working state, which is what
+    lets the fused trace→simulate stage run paper-scale graphs whose full
+    trace would not fit in RAM.
+    """
+
+    def __init__(self, chunk_factory, detail: dict | None = None) -> None:
+        self._factory = chunk_factory
+        self.detail = detail or {}
+        #: Totals observed by the most recent :meth:`chunks` consumption.
+        self.runs_streamed = 0
+        self.accesses_streamed = 0
+        self.chunks_streamed = 0
+        self.peak_chunk_runs = 0
+
+    def _emit(self, blocks, counts, writes, cores):
+        self.runs_streamed += int(blocks.size)
+        self.accesses_streamed += int(counts.sum())
+        return blocks, counts, writes, cores
+
+    def chunks(self):
+        """Yield packed ``(blocks, counts, writes, cores)`` chunks.
+
+        Same contract as :meth:`MemoryTrace.chunks`: the concatenation of
+        the yielded chunks is the full run-length-compressed trace.
+        """
+        self.runs_streamed = 0
+        self.accesses_streamed = 0
+        self.chunks_streamed = 0
+        self.peak_chunk_runs = 0
+        pending: tuple[int, int, int, int] | None = None
+        for chunk in self._factory():
+            blocks, counts, writes, cores = chunk.packed()
+            if blocks.size == 0:
+                continue
+            self.chunks_streamed += 1
+            self.peak_chunk_runs = max(self.peak_chunk_runs, int(blocks.size))
+            counts = counts.copy()
+            if pending is not None:
+                pb, pc, pw, pcore = pending
+                if int(blocks[0]) == pb and int(writes[0]) == pw and int(cores[0]) == pcore:
+                    counts[0] += pc
+                else:
+                    yield self._emit(
+                        np.array([pb], dtype=np.int64),
+                        np.array([pc], dtype=np.int64),
+                        np.array([pw], dtype=np.uint8),
+                        np.array([pcore], dtype=np.int64),
+                    )
+            pending = (
+                int(blocks[-1]),
+                int(counts[-1]),
+                int(writes[-1]),
+                int(cores[-1]),
+            )
+            if blocks.size > 1:
+                yield self._emit(
+                    blocks[:-1], counts[:-1], writes[:-1], cores[:-1]
+                )
+        if pending is not None:
+            pb, pc, pw, pcore = pending
+            yield self._emit(
+                np.array([pb], dtype=np.int64),
+                np.array([pc], dtype=np.int64),
+                np.array([pw], dtype=np.uint8),
+                np.array([pcore], dtype=np.int64),
+            )
+
+    def materialize(self) -> MemoryTrace:
+        """Concatenate all chunks into one in-memory :class:`MemoryTrace`.
+
+        The result is run-for-run identical to the trace a monolithic
+        build would have produced (the seam merges in :meth:`chunks`
+        guarantee it) — used by engines without an incremental entry
+        point and by the differential tests.
+        """
+        parts = list(self.chunks())
+        if not parts:
+            return MemoryTrace(
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=bool),
+                np.empty(0, dtype=np.int64),
+            )
+        return MemoryTrace(
+            np.concatenate([p[0] for p in parts]),
+            np.concatenate([p[1] for p in parts]),
+            np.concatenate([p[2] for p in parts]).view(np.bool_),
+            np.concatenate([p[3] for p in parts]),
+        )
+
+
 class TraceBuilder:
     """Accumulates keyed access streams and merges them into a trace."""
 
@@ -149,12 +260,16 @@ class TraceBuilder:
         self._writes.append(np.broadcast_to(np.asarray(write, dtype=bool), indices.shape))
         self._cores.append(np.broadcast_to(np.asarray(core, dtype=np.int64), indices.shape))
 
-    def build(self, engine: str | None = None) -> MemoryTrace:
+    def build(
+        self, engine: str | None = None, threads: int | None = None
+    ) -> MemoryTrace:
         """Merge all streams by time key and run-length compress.
 
         ``engine`` selects the merge implementation (``auto``/``fast``/
-        ``reference``, default from ``REPRO_TRACE_ENGINE``); both produce
-        bit-identical traces.
+        ``fast-threaded``/``reference``, default from
+        ``REPRO_TRACE_ENGINE``); all produce bit-identical traces.
+        ``threads`` only matters under ``fast-threaded`` (default:
+        ``REPRO_KERNEL_THREADS``, else the CPU count).
         """
         import time
 
@@ -179,7 +294,13 @@ class TraceBuilder:
             if fasttrace.use_fast(engine):
                 used = "fast"
                 trace = MemoryTrace(
-                    *fasttrace.trace_build_fast(blocks, keys, writes, cores)
+                    *fasttrace.trace_build_fast(
+                        blocks,
+                        keys,
+                        writes,
+                        cores,
+                        threads=fasttrace.resolve_threads(engine, threads),
+                    )
                 )
                 fasttrace.BUILD_STATS.record(
                     used,
@@ -189,7 +310,7 @@ class TraceBuilder:
                 )
                 return trace
         except fasttrace.KernelUnavailable:
-            if fasttrace.resolve_trace_engine(engine) == "fast":
+            if fasttrace.resolve_trace_engine(engine) in ("fast", "fast-threaded"):
                 raise
 
         order = np.argsort(keys, kind="stable")

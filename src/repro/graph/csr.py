@@ -21,15 +21,56 @@ state).
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
 import numpy as np
 
 from repro.graph import fastgraph
 
-__all__ = ["Graph"]
+__all__ = [
+    "Graph",
+    "GRAPH_MMAP_BYTES_ENV",
+    "DEFAULT_GRAPH_MMAP_BYTES",
+    "graph_mmap_budget",
+]
 
 _ID_DTYPE = np.int32
 _OFFSET_DTYPE = np.int64
 _WEIGHT_DTYPE = np.float64
+
+#: Byte threshold above which :meth:`Graph.load` memory-maps the saved
+#: arrays instead of reading them into the heap.
+GRAPH_MMAP_BYTES_ENV = "REPRO_GRAPH_MMAP_BYTES"
+
+#: Default threshold: graphs under 256 MiB load eagerly (mmap page
+#: faults would only add latency at that size); larger ones map lazily
+#: so paper-scale CSRs are paged in on demand and shared read-only
+#: across every process that opens the same files.  ``0`` (or negative)
+#: disables mapping entirely.
+DEFAULT_GRAPH_MMAP_BYTES = 1 << 28
+
+#: Array fields persisted by :meth:`Graph.save`, in file order.
+_SAVE_FIELDS = ("out_offsets", "out_targets", "in_offsets", "in_sources")
+_SAVE_WEIGHT_FIELDS = ("out_weights", "in_weights")
+
+
+def graph_mmap_budget() -> int:
+    """The mmap byte threshold (``REPRO_GRAPH_MMAP_BYTES`` or default).
+
+    Non-integer values raise :class:`ValueError` naming the variable,
+    matching the eager-failure contract of the engine variables.
+    """
+    env = os.environ.get(GRAPH_MMAP_BYTES_ENV)
+    if not env:
+        return DEFAULT_GRAPH_MMAP_BYTES
+    try:
+        return int(env)
+    except ValueError:
+        raise ValueError(
+            f"{GRAPH_MMAP_BYTES_ENV}={env!r} is not an integer byte count"
+        ) from None
 
 
 def _as_offsets(offsets: np.ndarray, num_edges: int, name: str) -> np.ndarray:
@@ -204,18 +245,118 @@ class Graph:
         return sources, self.out_targets.copy()
 
     # ------------------------------------------------------------------
+    # Disk persistence — per-field .npy files, mmap-loadable
+    # ------------------------------------------------------------------
+    def nbytes(self) -> int:
+        """Total bytes of the CSR arrays (offsets, endpoints, weights)."""
+        total = (
+            self.out_offsets.nbytes
+            + self.out_targets.nbytes
+            + self.in_offsets.nbytes
+            + self.in_sources.nbytes
+        )
+        if self.is_weighted:
+            total += self.out_weights.nbytes + self.in_weights.nbytes
+        return total
+
+    def save(self, directory: str | Path) -> Path:
+        """Persist the graph as one ``.npy`` file per CSR array.
+
+        Per-field files (rather than one ``.npz`` bundle) are what makes
+        :meth:`load`'s mmap mode possible: ``np.load(..., mmap_mode="r")``
+        maps a plain ``.npy`` in place, but has to decompress an archive
+        member into the heap.  ``meta.json`` is written last (atomically)
+        so a directory with metadata is always a complete save.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        fields = list(_SAVE_FIELDS)
+        if self.is_weighted:
+            fields += list(_SAVE_WEIGHT_FIELDS)
+        for name in fields:
+            np.save(directory / f"{name}.npy", np.ascontiguousarray(getattr(self, name)))
+        meta = {
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "weighted": self.is_weighted,
+        }
+        tmp = directory / "meta.json.tmp"
+        tmp.write_text(json.dumps(meta))
+        tmp.replace(directory / "meta.json")
+        return directory
+
+    @classmethod
+    def load(cls, directory: str | Path, mmap: bool | None = None) -> "Graph":
+        """Reload a :meth:`save`'d graph, memory-mapping large ones.
+
+        ``mmap=None`` (the default) maps the arrays read-only when their
+        on-disk footprint exceeds :func:`graph_mmap_budget`; pass
+        ``True``/``False`` to force either mode.  Mapped loads go through
+        the trusted constructor — the arrays were validated when the
+        graph was built, and eager re-validation would fault in every
+        page, defeating the laziness that is the point of mapping.
+        """
+        directory = Path(directory)
+        meta = json.loads((directory / "meta.json").read_text())
+        fields = list(_SAVE_FIELDS)
+        if meta["weighted"]:
+            fields += list(_SAVE_WEIGHT_FIELDS)
+        paths = {name: directory / f"{name}.npy" for name in fields}
+        if mmap is None:
+            budget = graph_mmap_budget()
+            total = sum(p.stat().st_size for p in paths.values())
+            mmap = budget > 0 and total > budget
+        arrays = {
+            name: np.load(path, mmap_mode="r" if mmap else None)
+            for name, path in paths.items()
+        }
+        if not mmap:
+            graph = cls(
+                arrays["out_offsets"],
+                arrays["out_targets"],
+                arrays["in_offsets"],
+                arrays["in_sources"],
+                arrays.get("out_weights"),
+                arrays.get("in_weights"),
+            )
+        else:
+            graph = cls._from_kernel_arrays(
+                arrays["out_offsets"],
+                arrays["out_targets"],
+                arrays["in_offsets"],
+                arrays["in_sources"],
+                arrays.get("out_weights"),
+                arrays.get("in_weights"),
+            )
+        if (graph.num_vertices, graph.num_edges) != (
+            meta["num_vertices"],
+            meta["num_edges"],
+        ):
+            raise ValueError(
+                f"saved graph in {directory} is inconsistent with its metadata"
+            )
+        return graph
+
+    # ------------------------------------------------------------------
     # Relabelling — the primitive every reordering technique uses
     # ------------------------------------------------------------------
-    def relabel(self, mapping: np.ndarray, engine: str | None = None) -> "Graph":
+    def relabel(
+        self,
+        mapping: np.ndarray,
+        engine: str | None = None,
+        threads: int | None = None,
+    ) -> "Graph":
         """Return a new graph where old vertex ``v`` becomes ``mapping[v]``.
 
         ``mapping`` must be a permutation of ``[0, num_vertices)``.  This
         is the CSR regeneration step the paper notes dominates reordering
-        cost (Section II-E, Table XI).  Two engines produce bit-identical
-        results: the vectorised numpy reference below, and the O(E)
-        counting-placement kernel in :mod:`repro.graph.fastgraph`
-        (selected by ``engine`` / ``REPRO_GRAPH_ENGINE``; ``auto`` uses
-        the kernel whenever a C compiler is available).
+        cost (Section II-E, Table XI).  All engines produce bit-identical
+        results: the vectorised numpy reference below, the O(E)
+        counting-placement kernel in :mod:`repro.graph.fastgraph`, and
+        its pthread-chunked variant (``fast-threaded``; ``threads``
+        defaults to ``REPRO_KERNEL_THREADS``, else the CPU count) —
+        selected by ``engine`` / ``REPRO_GRAPH_ENGINE``; ``auto`` uses
+        the serial kernel whenever a C compiler is available.
         """
         mapping = np.asarray(mapping)
         if mapping.shape != (self.num_vertices,):
@@ -238,11 +379,15 @@ class Graph:
             if fastgraph.use_fast(engine):
                 return Graph._from_kernel_arrays(
                     *fastgraph.relabel_arrays(
-                        self.out_offsets, self.out_targets, self.out_weights, mapping
+                        self.out_offsets,
+                        self.out_targets,
+                        self.out_weights,
+                        mapping,
+                        threads=fastgraph.resolve_threads(engine, threads),
                     )
                 )
         except fastgraph.KernelUnavailable:
-            if fastgraph.resolve_graph_engine(engine) == "fast":
+            if fastgraph.resolve_graph_engine(engine) in ("fast", "fast-threaded"):
                 raise
         old_src, old_dst = self.edge_array()
         new_src = mapping[old_src]
@@ -297,6 +442,7 @@ def _build_dual_csr(
     weights: np.ndarray | None,
     stable: bool = False,
     engine: str | None = None,
+    threads: int | None = None,
 ) -> Graph:
     """Construct a :class:`Graph` from parallel edge-endpoint arrays.
 
@@ -312,10 +458,16 @@ def _build_dual_csr(
         try:
             if fastgraph.use_fast(engine):
                 return Graph._from_kernel_arrays(
-                    *fastgraph.build_csr_arrays(num_vertices, src, dst, weights)
+                    *fastgraph.build_csr_arrays(
+                        num_vertices,
+                        src,
+                        dst,
+                        weights,
+                        threads=fastgraph.resolve_threads(engine, threads),
+                    )
                 )
         except fastgraph.KernelUnavailable:
-            if fastgraph.resolve_graph_engine(engine) == "fast":
+            if fastgraph.resolve_graph_engine(engine) in ("fast", "fast-threaded"):
                 raise
     kind = "stable" if stable else "quicksort"
     out_order = np.argsort(src, kind=kind)

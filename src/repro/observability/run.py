@@ -87,6 +87,29 @@ def _git_sha() -> str | None:
     return sha if proc.returncode == 0 and sha else None
 
 
+def _kernel_report() -> dict:
+    """Scaling knobs in effect for this run's kernels.
+
+    Captures what the timing numbers in the manifest depend on beyond
+    the engine choices: the resolved kernel worker count, the fused
+    trace→simulate byte budget, the graph mmap threshold and the
+    process's peak RSS at manifest time.  Imports are deferred — the
+    pipeline imports observability at module load, not vice versa.
+    """
+    from repro import engines
+    from repro.graph import csr
+    from repro.observability.tracing import _peak_rss_kb
+    from repro.pipeline import stages
+
+    return {
+        "threads": engines.resolve_kernel_threads(None),
+        "threads_env": os.environ.get(engines.THREADS_ENV),
+        "fused_trace_bytes": stages.fused_trace_budget(),
+        "graph_mmap_bytes": csr.graph_mmap_budget(),
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+
+
 def _json_default(value):
     """Last-resort JSON encoding for numpy scalars and similar."""
     if hasattr(value, "item"):
@@ -245,6 +268,10 @@ class RunContext:
             engine_report = engines.status()
         except Exception as exc:  # pragma: no cover - defensive
             engine_report = {"error": repr(exc)}
+        try:
+            kernel_report = _kernel_report()
+        except Exception as exc:  # pragma: no cover - defensive
+            kernel_report = {"error": repr(exc)}
         return {
             "manifest_schema": MANIFEST_SCHEMA,
             "run_id": self.run_id,
@@ -255,6 +282,7 @@ class RunContext:
             "git_sha": _git_sha(),
             "config": config,
             "engines": engine_report,
+            "kernels": kernel_report,
             "grids": grids,
             "datasets": datasets,
             "store": store_summary,

@@ -53,6 +53,7 @@ class Span:
         "start",
         "wall_s",
         "cpu_s",
+        "max_rss_kb",
         "_mono0",
         "_cpu0",
     )
@@ -67,12 +68,14 @@ class Span:
         self.start = start  #: wall-anchored timestamp (seconds since epoch)
         self.wall_s = 0.0
         self.cpu_s = 0.0
+        self.max_rss_kb = None
         self._mono0 = time.monotonic()
         self._cpu0 = time.thread_time()
 
     def finish(self) -> None:
         self.wall_s = time.monotonic() - self._mono0
         self.cpu_s = time.thread_time() - self._cpu0
+        self.max_rss_kb = _peak_rss_kb()
 
     def as_event(self, pid: int) -> dict:
         return {
@@ -84,8 +87,25 @@ class Span:
             "ts": self.start,
             "wall_s": self.wall_s,
             "cpu_s": self.cpu_s,
+            "max_rss_kb": self.max_rss_kb,
             "tags": self.tags,
         }
+
+
+def _peak_rss_kb() -> int | None:
+    """Process peak RSS (KiB) at span finish; None where unavailable.
+
+    ``ru_maxrss`` is a process-lifetime high-water mark, so per-span
+    values are monotone across a process: a span's number says "the
+    process had peaked at X by the time this span closed", which is
+    enough to locate the stage where the peak was set (the first span
+    where the value jumps).
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - resource is POSIX-only
+        return None
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
 
 
 class _SpanContext:

@@ -296,6 +296,46 @@ class CellPipeline:
             root,
         )
 
+    def fused_cell(self, dataset: str) -> bool:
+        """Whether this dataset's cells take the fused trace+simulate path.
+
+        Routed on the graph's edge count against the campaign byte budget
+        (``REPRO_FUSED_TRACE_BYTES``); the same predicate drives the grid
+        planner, so fused cells never schedule trace-artifact jobs.
+        """
+        return stages.use_fused_trace(self.graph(dataset).num_edges)
+
+    def fused_trace_and_simulate(
+        self,
+        app,
+        app_name: str,
+        dataset: str,
+        technique_name: str,
+        degree_kind: str,
+        root: int | None,
+    ):
+        """Fused stage: stream the super-step trace straight into the simulator.
+
+        Returns ``(app_trace, stats)`` where ``app_trace.trace`` is the
+        consumed :class:`~repro.framework.trace.StreamingTrace` — counters
+        are bit-identical to building the trace artifact and simulating
+        it, but the full trace never exists in memory or the store.
+        """
+        weighted = app_name == "SSSP"
+        graph = self.reordered_graph(dataset, technique_name, degree_kind, weighted)
+        mapping = self.mapping(dataset, technique_name, degree_kind)
+        plan = self.plan(app_name, dataset, root).remap(mapping)
+        with PROFILER.stage(
+            "trace+simulate",
+            app=app_name,
+            dataset=dataset,
+            technique=technique_name,
+            fused=True,
+        ):
+            app_trace = app.trace_streaming(graph, plan)
+            stats = simulate_trace(app_trace.trace, self.config.hierarchy)
+        return app_trace, stats
+
     def app_trace(
         self,
         app,
@@ -381,12 +421,18 @@ class CellPipeline:
         step_cycles = []
         unit_cycles = []
         run_cycles = []
+        fused = self.fused_cell(dataset)
         for root in roots:
-            app_trace = self.app_trace(
-                app, app_name, dataset, technique_name, degree_kind, root
-            )
-            with PROFILER.stage("simulate"):
-                stats = simulate_trace(app_trace.trace, self.config.hierarchy)
+            if fused:
+                app_trace, stats = self.fused_trace_and_simulate(
+                    app, app_name, dataset, technique_name, degree_kind, root
+                )
+            else:
+                app_trace = self.app_trace(
+                    app, app_name, dataset, technique_name, degree_kind, root
+                )
+                with PROFILER.stage("simulate"):
+                    stats = simulate_trace(app_trace.trace, self.config.hierarchy)
             total_instr += app_trace.instructions
             total_accesses += stats.accesses
             total_l1m += stats.l1_misses

@@ -42,11 +42,12 @@ before the exception propagates.
 from __future__ import annotations
 
 import itertools
+import tempfile
 from concurrent.futures import ProcessPoolExecutor
 
 from repro import observability
 from repro.observability import TRACER
-from repro.pipeline import sharedgraph
+from repro.pipeline import sharedgraph, stages
 from repro.pipeline.profiler import PROFILER, diff_snapshots
 from repro.pipeline.cells import ROOT_APPS, CellPipeline, CellResult, ExperimentConfig
 from repro.pipeline.stages import PIPELINE
@@ -85,6 +86,11 @@ def plan_stage_jobs(
                 seen_mappings.add(mkey)
                 if not store.path_for("mapping", mkey).exists():
                     mapping_jobs.append((dataset, technique_name, degree_kind))
+        if pipeline.fused_cell(dataset):
+            # Fused cells stream trace→simulate inside the cell phase;
+            # scheduling a trace job would materialize exactly the
+            # artifact the fused path exists to avoid.
+            continue
         roots = pipeline.roots(dataset) if app_name in ROOT_APPS else [None]
         for root in roots:
             tkey = pipeline.trace_store_key(
@@ -103,9 +109,10 @@ def _export_grid_graphs(
     """Build + export the graphs the store-missing cells will need.
 
     Each needed (dataset, weighted) graph is built once, here in the
-    parent, under the usual ``generate`` profiler stage.  Returns
-    ``([], None)`` when nothing needs sharing or shared memory is
-    unavailable.
+    parent, under the usual ``generate`` profiler stage.  Shared memory
+    is tried first, then the disk/mmap spill transport; returns
+    ``([], None)`` when nothing needs sharing or both transports are
+    unavailable (workers regenerate).
     """
     if not missing:
         return [], None
@@ -116,10 +123,17 @@ def _export_grid_graphs(
         needed[(dataset, False)] = None
         if app_name == "SSSP":
             needed[(dataset, True)] = None
+    for dataset, weighted in needed:
+        needed[(dataset, weighted)] = pipeline.graph(dataset, weighted)
     try:
-        for dataset, weighted in needed:
-            needed[(dataset, weighted)] = pipeline.graph(dataset, weighted)
         return sharedgraph.export_graphs(needed)
+    except sharedgraph.SharedMemoryUnavailable:
+        pass
+    try:
+        # No usable POSIX shm (or segments too large for /dev/shm):
+        # spill to disk and let workers mmap the one page-cache copy.
+        spill = tempfile.mkdtemp(prefix="repro-grid-graphs-")
+        return sharedgraph.export_graphs_mmap(needed, spill)
     except sharedgraph.SharedMemoryUnavailable:
         return [], None
 
@@ -142,6 +156,7 @@ def run_grid(
     # Fail fast on misconfigured engine env vars — before any graph is
     # built or worker spawned, not mid-campaign in a worker traceback.
     PIPELINE.validate_engines()
+    stages.fused_trace_budget()
     cells = list(itertools.product(apps, datasets, techniques))
     run = observability.current_run()
     if run is not None:

@@ -44,7 +44,17 @@ __all__ = [
 ]
 
 #: Pipeline stages in execution order (display order, too).
-STAGES = ("generate", "mapping", "relabel", "trace", "simulate", "model")
+#: ``trace+simulate`` is the fused streaming alternative to the
+#: trace → simulate pair, selected per cell by the byte budget.
+STAGES = (
+    "generate",
+    "mapping",
+    "relabel",
+    "trace",
+    "simulate",
+    "trace+simulate",
+    "model",
+)
 
 
 @dataclass

@@ -22,11 +22,21 @@ single ``unlink`` retires the entry exactly once.
 
 Everything degrades gracefully: any failure to create, write or attach
 segments (no ``/dev/shm``, size limits, platforms without POSIX shm)
-raises :class:`SharedMemoryUnavailable`, and the grid runner falls back
-to the historical per-worker regeneration path.
+raises :class:`SharedMemoryUnavailable`, and the grid runner first
+tries the **mmap spill** transport — :func:`export_graphs_mmap` saves
+each graph as per-field ``.npy`` files and workers reload them with
+``np.load(..., mmap_mode="r")``, so the page cache (not per-process
+heaps) holds the one physical copy — before resorting to the historical
+per-worker regeneration path.  Manifest entries are self-describing
+(``kind: "shm"`` / ``kind: "mmap"``); :func:`attach_graphs` handles
+both, and :func:`release_graphs` retires shm handles and spill
+directories uniformly.
 """
 
 from __future__ import annotations
+
+import shutil
+from pathlib import Path
 
 import numpy as np
 
@@ -35,6 +45,7 @@ from repro.graph.csr import Graph
 __all__ = [
     "SharedMemoryUnavailable",
     "export_graphs",
+    "export_graphs_mmap",
     "attach_graphs",
     "release_graphs",
 ]
@@ -97,7 +108,7 @@ def export_graphs(graphs: dict) -> tuple[list, dict]:
                 offset += arr.nbytes
             shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
             handles.append(shm)
-            spec = {"segment": shm.name, "arrays": {}}
+            spec = {"kind": "shm", "segment": shm.name, "arrays": {}}
             for name, arr, start in layout:
                 view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf[start:])
                 view[...] = arr
@@ -112,12 +123,55 @@ def export_graphs(graphs: dict) -> tuple[list, dict]:
     return handles, manifest
 
 
+class _MmapSpill:
+    """Parent-owned handle for a spilled graph directory.
+
+    Quacks like a ``SharedMemory`` handle (``close``/``unlink``) so
+    :func:`release_graphs` retires shm segments and spill directories
+    through one code path.
+    """
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = directory
+
+    def close(self) -> None:  # nothing mapped in the parent
+        pass
+
+    def unlink(self) -> None:
+        shutil.rmtree(self.directory, ignore_errors=True)
+
+
+def export_graphs_mmap(graphs: dict, directory: str | Path) -> tuple[list, dict]:
+    """Spill each graph to per-field ``.npy`` files under ``directory``.
+
+    The disk-backed sibling of :func:`export_graphs` for environments
+    without usable POSIX shm (or segments larger than ``/dev/shm``):
+    workers reload with ``mmap_mode="r"``, so all processes share one
+    page-cache copy.  Same return/raise contract as
+    :func:`export_graphs`.
+    """
+    directory = Path(directory)
+    manifest: dict = {}
+    try:
+        for index, (key, graph) in enumerate(graphs.items()):
+            graph_dir = graph.save(directory / f"graph-{index}")
+            manifest[key] = {"kind": "mmap", "directory": str(graph_dir)}
+    except Exception as exc:
+        shutil.rmtree(directory, ignore_errors=True)
+        raise SharedMemoryUnavailable(
+            f"could not spill graphs to {directory}: {exc}"
+        ) from exc
+    return [_MmapSpill(directory)], manifest
+
+
 def attach_graphs(manifest: dict) -> dict:
     """Rebuild zero-copy ``Graph`` views from an export manifest.
 
     Returns ``{key: Graph}`` with every array a read-only view of the
-    parent's segment.  Raises :class:`SharedMemoryUnavailable` when the
-    segments cannot be mapped (caller falls back to regeneration).
+    parent's segment (``kind: "shm"``) or a read-only memory map of the
+    parent's spill files (``kind: "mmap"``).  Raises
+    :class:`SharedMemoryUnavailable` when neither can be mapped (caller
+    falls back to regeneration).
     """
     try:
         from multiprocessing import shared_memory
@@ -127,6 +181,9 @@ def attach_graphs(manifest: dict) -> dict:
     graphs = {}
     try:
         for key, spec in manifest.items():
+            if spec.get("kind", "shm") == "mmap":
+                graphs[key] = Graph.load(spec["directory"], mmap=True)
+                continue
             shm = shared_memory.SharedMemory(name=spec["segment"])
             _ATTACHED.append(shm)
             arrays = {}

@@ -27,6 +27,7 @@ is folded in by the store itself.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from repro import engines
@@ -35,6 +36,11 @@ __all__ = [
     "StageSpec",
     "StageGraph",
     "PIPELINE",
+    "FUSED_TRACE_BYTES_ENV",
+    "DEFAULT_FUSED_TRACE_BYTES",
+    "fused_trace_budget",
+    "estimated_trace_bytes",
+    "use_fused_trace",
     "mapping_key",
     "trace_key",
     "cell_key",
@@ -69,8 +75,66 @@ STAGES: tuple[StageSpec, ...] = (
     StageSpec("relabel", ("generate", "mapping"), None, ("graph",)),
     StageSpec("trace", ("generate", "mapping", "relabel"), "trace", ("trace",)),
     StageSpec("simulate", ("trace",), None, ("sim",)),
+    # Fused alternative to trace → simulate for paper-scale cells: the
+    # streaming trace is fed straight into the simulator's persistent
+    # state, never materialized or persisted (memory-resident by
+    # definition — there is no artifact).  Selected per cell when the
+    # estimated trace footprint exceeds the fused-trace byte budget.
+    StageSpec(
+        "trace+simulate",
+        ("generate", "mapping", "relabel"),
+        None,
+        ("trace", "sim"),
+    ),
     StageSpec("model", ("generate", "simulate"), "cell", ()),
 )
+
+
+# -- fused-stage selection ---------------------------------------------------
+
+#: Campaign-wide byte budget above which a cell's estimated trace
+#: footprint routes it through the fused ``trace+simulate`` stage.
+FUSED_TRACE_BYTES_ENV = "REPRO_FUSED_TRACE_BYTES"
+
+#: Default budget: traces estimated under 1 GiB keep the two-stage path
+#: (persisted trace artifacts amortize across hierarchy sweeps); larger
+#: ones stream.  ``0`` (or negative) disables fusing entirely.
+DEFAULT_FUSED_TRACE_BYTES = 1 << 30
+
+
+def fused_trace_budget() -> int:
+    """The fused-stage byte budget (``REPRO_FUSED_TRACE_BYTES`` or default).
+
+    Non-integer values raise :class:`ValueError` naming the variable, the
+    same eager-failure contract as the engine variables.
+    """
+    env = os.environ.get(FUSED_TRACE_BYTES_ENV)
+    if not env:
+        return DEFAULT_FUSED_TRACE_BYTES
+    try:
+        return int(env)
+    except ValueError:
+        raise ValueError(
+            f"{FUSED_TRACE_BYTES_ENV}={env!r} is not an integer byte count"
+        ) from None
+
+
+def estimated_trace_bytes(num_edges: int) -> int:
+    """Rough peak footprint of materializing a super-step trace.
+
+    The monolithic build concatenates ~25 bytes of keyed stream entry per
+    traversed edge (property stream plus fractional edge/vertex-stream
+    transitions) and the sort holds comparable scratch, so 32 bytes/edge
+    is a deliberate round upper-ish estimate — the knob is a routing
+    threshold, not an accounting claim.
+    """
+    return 32 * int(num_edges)
+
+
+def use_fused_trace(num_edges: int, budget: int | None = None) -> bool:
+    """Whether a cell over ``num_edges`` traversed edges should fuse."""
+    budget = fused_trace_budget() if budget is None else budget
+    return budget > 0 and estimated_trace_bytes(num_edges) > budget
 
 
 class StageGraph:

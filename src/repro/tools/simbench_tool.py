@@ -15,18 +15,25 @@ Three benchmark families, selectable with ``--bench``:
   counting-placement graph kernel vs the dual-argsort numpy reference
   on a dataset analog;
 * ``build`` — dual-CSR construction from a shuffled edge list: the
-  counting-sort graph kernel vs the stable-argsort numpy reference.
+  counting-sort graph kernel vs the stable-argsort numpy reference;
+* ``stream`` — the fused streaming trace→simulate path vs materializing
+  the whole trace first, on a dataset analog (asserts identical miss
+  counters, reports chunk statistics and process peak RSS).
 
-Every timed pair is asserted bit-identical before speedups are printed.
-``--json`` archives the numbers in the ``BENCH_cachesim.json`` format
-the benchmark harness also emits.
+``--threads N`` additionally times the pthread-chunked ``fast-threaded``
+variant of every kernel that has one (sim, trace, relabel, build) with
+``N`` workers.  Every timed pair is asserted bit-identical before
+speedups are printed.  ``--json`` archives the numbers in the
+``BENCH_cachesim.json`` format the benchmark harness also emits,
+including the thread count, streaming chunk size and peak RSS.
 
 Examples::
 
     repro-simbench --runs 500000
     repro-simbench --policy lip --engines fast
-    repro-simbench --bench trace --trace-runs 262144
+    repro-simbench --bench trace --trace-runs 262144 --threads 8
     repro-simbench --bench relabel --graph-dataset sd
+    repro-simbench --bench stream --graph-dataset sd --chunk-edges 65536
     repro-simbench --bench all --json BENCH_cachesim.json
 """
 
@@ -59,7 +66,24 @@ __all__ = [
     "time_gorder",
     "time_relabel",
     "time_csr_build",
+    "time_stream",
+    "peak_rss_kb",
 ]
+
+
+def peak_rss_kb() -> int | None:
+    """This process's peak resident set size in KiB (None off-Linux).
+
+    ``ru_maxrss`` is a high-water mark — it never decreases within a
+    process — so it bounds every path timed so far rather than isolating
+    one; per-path isolation needs subprocesses (the scale benchmark
+    harness does that).
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - resource is POSIX-only
+        return None
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
 
 
 def make_microbench_trace(runs: int, seed: int = 0, write_fraction: float = 0.05,
@@ -158,11 +182,17 @@ def reference_trace_build(
 
 
 def time_trace_build(
-    n: int = 262_144, seed: int = 0, kind: str = "shuffled", repeats: int = 5
+    n: int = 262_144,
+    seed: int = 0,
+    kind: str = "shuffled",
+    repeats: int = 5,
+    threads: int = 1,
 ) -> dict:
     """Best-of-``repeats`` trace-build time, kernel vs numpy reference.
 
-    Asserts the two engines produce byte-identical compressed traces.
+    Asserts the engines (reference, serial kernel and — with
+    ``threads > 1`` — the pthread-chunked kernel) produce byte-identical
+    compressed traces.
     """
     blocks, keys, writes, cores = make_trace_build_streams(n, seed=seed, kind=kind)
     best_ref = float("inf")
@@ -174,24 +204,39 @@ def time_trace_build(
         "workload": kind,
         "n": int(keys.size),
         "runs": int(ref[0].size),
+        "threads": threads,
         "engines": {
             "reference": {"seconds": best_ref, "keys_per_second": keys.size / best_ref}
         },
     }
     if fasttrace.fast_available():
-        best_fast = float("inf")
-        for _ in range(repeats):
-            start = time.perf_counter()
-            fast = fasttrace.trace_build_fast(blocks, keys, writes, cores)
-            best_fast = min(best_fast, time.perf_counter() - start)
-        for r, f in zip(ref, fast):
-            if r.tobytes() != np.ascontiguousarray(f, dtype=r.dtype).tobytes():
-                raise AssertionError("fast trace-build diverged from reference")
+
+        def timed(workers: int) -> float:
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                fast = fasttrace.trace_build_fast(
+                    blocks, keys, writes, cores, threads=workers
+                )
+                best = min(best, time.perf_counter() - start)
+            for r, f in zip(ref, fast):
+                if r.tobytes() != np.ascontiguousarray(f, dtype=r.dtype).tobytes():
+                    raise AssertionError("fast trace-build diverged from reference")
+            return best
+
+        best_fast = timed(1)
         results["engines"]["fast"] = {
             "seconds": best_fast,
             "keys_per_second": keys.size / best_fast,
         }
         results["speedup_fast_over_reference"] = best_ref / best_fast
+        if threads > 1:
+            best_threaded = timed(threads)
+            results["engines"]["fast-threaded"] = {
+                "seconds": best_threaded,
+                "keys_per_second": keys.size / best_threaded,
+            }
+            results["speedup_threaded_over_fast"] = best_fast / best_threaded
     return results
 
 
@@ -265,13 +310,17 @@ def _assert_same_graph(ref, fast, label: str) -> None:
 
 
 def time_relabel(
-    dataset: str = "sd", seed: int = 0, weighted: bool = False, repeats: int = 5
+    dataset: str = "sd",
+    seed: int = 0,
+    weighted: bool = False,
+    repeats: int = 5,
+    threads: int = 1,
 ) -> dict:
     """Best-of-``repeats`` CSR relabel time, graph kernel vs numpy.
 
     Relabels a dataset analog under a seeded random permutation (the
     worst-case scatter pattern, and what RandomVertex produces) and
-    asserts both engines emit bit-identical dual CSRs.
+    asserts every engine emits bit-identical dual CSRs.
     """
     from repro.graph.fastgraph import fast_available as graph_fast_available
     from repro.graph.generators import load_dataset
@@ -288,6 +337,7 @@ def time_relabel(
         "vertices": int(graph.num_vertices),
         "edges": int(graph.num_edges),
         "weighted": weighted,
+        "threads": threads,
         "engines": {
             "reference": {
                 "seconds": best_ref,
@@ -296,28 +346,44 @@ def time_relabel(
         },
     }
     if graph_fast_available():
-        best_fast = float("inf")
-        for _ in range(repeats):
-            start = time.perf_counter()
-            fast = graph.relabel(mapping, engine="fast")
-            best_fast = min(best_fast, time.perf_counter() - start)
-        _assert_same_graph(ref, fast, "relabel")
+
+        def timed(engine: str, workers: int) -> float:
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                fast = graph.relabel(mapping, engine=engine, threads=workers)
+                best = min(best, time.perf_counter() - start)
+            _assert_same_graph(ref, fast, "relabel")
+            return best
+
+        best_fast = timed("fast", 1)
         results["engines"]["fast"] = {
             "seconds": best_fast,
             "edges_per_second": graph.num_edges / best_fast,
         }
         results["speedup_fast_over_reference"] = best_ref / best_fast
+        if threads > 1:
+            best_threaded = timed("fast-threaded", threads)
+            results["engines"]["fast-threaded"] = {
+                "seconds": best_threaded,
+                "edges_per_second": graph.num_edges / best_threaded,
+            }
+            results["speedup_threaded_over_fast"] = best_fast / best_threaded
     return results
 
 
 def time_csr_build(
-    dataset: str = "sd", seed: int = 0, weighted: bool = False, repeats: int = 5
+    dataset: str = "sd",
+    seed: int = 0,
+    weighted: bool = False,
+    repeats: int = 5,
+    threads: int = 1,
 ) -> dict:
     """Best-of-``repeats`` dual-CSR build time, graph kernel vs numpy.
 
     Rebuilds a dataset analog from its own edge list in shuffled order
     (what generators and ``from_edges`` callers feed the builder) and
-    asserts both engines emit bit-identical dual CSRs.
+    asserts every engine emits bit-identical dual CSRs.
     """
     from repro.graph.csr import _build_dual_csr
     from repro.graph.fastgraph import fast_available as graph_fast_available
@@ -341,6 +407,7 @@ def time_csr_build(
         "vertices": int(graph.num_vertices),
         "edges": int(graph.num_edges),
         "weighted": weighted,
+        "threads": threads,
         "engines": {
             "reference": {
                 "seconds": best_ref,
@@ -349,20 +416,130 @@ def time_csr_build(
         },
     }
     if graph_fast_available():
-        best_fast = float("inf")
-        for _ in range(repeats):
-            start = time.perf_counter()
-            fast = _build_dual_csr(
-                graph.num_vertices, src, dst, weights, stable=True, engine="fast"
-            )
-            best_fast = min(best_fast, time.perf_counter() - start)
-        _assert_same_graph(ref, fast, "CSR build")
+
+        def timed(engine: str, workers: int) -> float:
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                fast = _build_dual_csr(
+                    graph.num_vertices, src, dst, weights, stable=True,
+                    engine=engine, threads=workers,
+                )
+                best = min(best, time.perf_counter() - start)
+            _assert_same_graph(ref, fast, "CSR build")
+            return best
+
+        best_fast = timed("fast", 1)
         results["engines"]["fast"] = {
             "seconds": best_fast,
             "edges_per_second": graph.num_edges / best_fast,
         }
         results["speedup_fast_over_reference"] = best_ref / best_fast
+        if threads > 1:
+            best_threaded = timed("fast-threaded", threads)
+            results["engines"]["fast-threaded"] = {
+                "seconds": best_threaded,
+                "edges_per_second": graph.num_edges / best_threaded,
+            }
+            results["speedup_threaded_over_fast"] = best_fast / best_threaded
     return results
+
+
+def time_stream(
+    dataset: str = "sd",
+    app_name: str = "PR",
+    chunk_edges: int | None = None,
+    threads: int = 1,
+    repeats: int = 2,
+) -> dict:
+    """Fused streaming trace→simulate vs the materialized two-stage path.
+
+    Builds one app's super-step trace both ways on a dataset analog,
+    asserts the cache counters are identical, and reports wall time,
+    chunk statistics (count, peak runs held at once) and the process
+    peak RSS.  ``ru_maxrss`` is process-monotonic, so the recorded value
+    bounds *both* paths; the scale benchmark isolates them in
+    subprocesses for the RSS-reduction acceptance number.
+    """
+    from repro.apps import make_app
+    from repro.graph.generators import load_dataset
+
+    graph = load_dataset(dataset, weighted=app_name == "SSSP")
+    app = make_app(app_name)
+    plan = app.plan(graph)
+    config = DEFAULT_HIERARCHY
+    engine = "fast-threaded" if threads > 1 else None
+    kernel_threads = threads if threads > 1 else None
+
+    best_mat = float("inf")
+    mat_stats = None
+    trace_runs = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        app_trace = app.trace(graph, plan)
+        mat_stats = simulate_trace(
+            app_trace.trace, config, engine=engine, threads=kernel_threads
+        )
+        best_mat = min(best_mat, time.perf_counter() - start)
+        trace_runs = len(app_trace.trace)
+
+    best_fused = float("inf")
+    fused_stats = None
+    streaming = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fused = app.trace_streaming(
+            graph, plan, chunk_edges=chunk_edges, engine=engine,
+            threads=kernel_threads,
+        )
+        fused_stats = simulate_trace(
+            fused.trace, config, engine=engine, threads=kernel_threads
+        )
+        best_fused = min(best_fused, time.perf_counter() - start)
+        streaming = fused.trace
+
+    if (
+        mat_stats.l1_misses,
+        mat_stats.l2_misses,
+        mat_stats.l3_misses,
+        mat_stats.accesses,
+        mat_stats.l2_miss_breakdown,
+    ) != (
+        fused_stats.l1_misses,
+        fused_stats.l2_misses,
+        fused_stats.l3_misses,
+        fused_stats.accesses,
+        fused_stats.l2_miss_breakdown,
+    ):
+        raise AssertionError("fused streaming path diverged from materialized")
+    if streaming.runs_streamed != trace_runs:
+        raise AssertionError(
+            "streamed run sequence differs in length from the materialized trace"
+        )
+    return {
+        "dataset": dataset,
+        "app": app_name,
+        "vertices": int(graph.num_vertices),
+        "edges": int(graph.num_edges),
+        "threads": threads,
+        "chunk_edges": streaming.detail.get("chunk_edges"),
+        "trace_runs": trace_runs,
+        "chunks_streamed": streaming.chunks_streamed,
+        "peak_chunk_runs": streaming.peak_chunk_runs,
+        "accesses": int(fused_stats.accesses),
+        "peak_rss_kb": peak_rss_kb(),
+        "paths": {
+            "materialized": {
+                "seconds": best_mat,
+                "accesses_per_second": mat_stats.accesses / best_mat,
+            },
+            "fused": {
+                "seconds": best_fused,
+                "accesses_per_second": fused_stats.accesses / best_fused,
+            },
+        },
+        "fused_over_materialized_time": best_fused / best_mat,
+    }
 
 
 def time_engines(
@@ -370,16 +547,22 @@ def time_engines(
     config: HierarchyConfig,
     engines: list[str],
     repeats: int = 1,
+    threads: int = 1,
 ) -> dict:
-    """Best-of-``repeats`` wall time per engine; asserts identical counters."""
-    results: dict = {"engines": {}}
+    """Best-of-``repeats`` wall time per engine; asserts identical counters.
+
+    ``threads`` applies to the ``fast-threaded`` engine only (others run
+    their usual serial kernels).
+    """
+    results: dict = {"engines": {}, "threads": threads}
     reference_stats = None
     for engine in engines:
+        workers = threads if engine == "fast-threaded" else None
         best = float("inf")
         stats = None
         for _ in range(repeats):
             start = time.perf_counter()
-            stats = simulate_trace(trace, config, engine=engine)
+            stats = simulate_trace(trace, config, engine=engine, threads=workers)
             best = min(best, time.perf_counter() - start)
         if reference_stats is None:
             reference_stats = stats
@@ -401,6 +584,11 @@ def time_engines(
         results["speedup_fast_over_reference"] = (
             engine_times["reference"]["seconds"] / engine_times["fast"]["seconds"]
         )
+    if "fast" in engine_times and "fast-threaded" in engine_times:
+        results["speedup_threaded_over_fast"] = (
+            engine_times["fast"]["seconds"]
+            / engine_times["fast-threaded"]["seconds"]
+        )
     return results
 
 
@@ -415,10 +603,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--bench",
-        choices=["sim", "trace", "gorder", "relabel", "build", "all"],
+        choices=["sim", "trace", "gorder", "relabel", "build", "stream", "all"],
         default="sim",
         help="which benchmark family to run",
     )
+    parser.add_argument("--threads", type=int, default=1,
+                        help="also time the fast-threaded kernels with this "
+                             "many workers (sim/trace/relabel/build)")
+    parser.add_argument("--chunk-edges", type=int, default=None,
+                        help="streaming chunk size in edges for the stream bench")
+    parser.add_argument("--stream-app", type=str, default="PR",
+                        help="application for the stream bench")
     parser.add_argument("--runs", type=int, default=500_000,
                         help="compressed trace runs to simulate (sim bench)")
     parser.add_argument("--seed", type=int, default=0)
@@ -426,8 +621,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--repeats", type=int, default=2,
                         help="timing repeats per engine (best is kept)")
     parser.add_argument("--engines", nargs="+", default=None,
-                        choices=["reference", "fast"],
-                        help="sim engines to time (default: both when available)")
+                        choices=["reference", "fast", "fast-threaded"],
+                        help="sim engines to time (default: all available; "
+                             "fast-threaded only with --threads > 1)")
     parser.add_argument("--trace-runs", type=int, default=262_144,
                         help="stream entries for the trace-build bench")
     parser.add_argument("--gorder-scale", type=int, default=13,
@@ -438,12 +634,22 @@ def main(argv: list[str] | None = None) -> int:
                         help="also write results as JSON to this path")
     args = parser.parse_args(argv)
 
-    output: dict = {}
+    if args.threads < 1:
+        parser.error("--threads must be >= 1")
+    output: dict = {
+        "config": {
+            "threads": args.threads,
+            "chunk_edges": args.chunk_edges,
+            "seed": args.seed,
+        }
+    }
     if args.bench in ("sim", "all"):
         engines = args.engines
         if engines is None:
             engines = ["reference"] + (["fast"] if fast_available() else [])
-        if "fast" in engines and not fast_available():
+            if args.threads > 1 and fast_available():
+                engines.append("fast-threaded")
+        if any(e != "reference" for e in engines) and not fast_available():
             parser.error("fast engine unavailable (no C compiler?)")
         config = HierarchyConfig(
             l1=DEFAULT_HIERARCHY.l1,
@@ -456,7 +662,9 @@ def main(argv: list[str] | None = None) -> int:
             f"sim trace: {len(trace):,} runs / {trace.total_accesses:,} accesses, "
             f"policy={args.policy}"
         )
-        results = time_engines(trace, config, engines, repeats=args.repeats)
+        results = time_engines(
+            trace, config, engines, repeats=args.repeats, threads=args.threads
+        )
         for engine, row in results["engines"].items():
             print(
                 f"{engine:>9s}: {row['seconds']:8.3f}s  "
@@ -469,7 +677,7 @@ def main(argv: list[str] | None = None) -> int:
         for kind in ("shuffled", "interleaved"):
             results = time_trace_build(
                 args.trace_runs, seed=args.seed, kind=kind,
-                repeats=max(args.repeats, 3),
+                repeats=max(args.repeats, 3), threads=args.threads,
             )
             print(
                 f"trace build [{kind}]: {results['n']:,} entries -> "
@@ -499,7 +707,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.bench in ("relabel", "all"):
         results = time_relabel(
-            args.graph_dataset, seed=args.seed, repeats=max(args.repeats, 3)
+            args.graph_dataset, seed=args.seed, repeats=max(args.repeats, 3),
+            threads=args.threads,
         )
         print(
             f"relabel [{results['dataset']}]: {results['vertices']:,} vertices / "
@@ -515,7 +724,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.bench in ("build", "all"):
         results = time_csr_build(
-            args.graph_dataset, seed=args.seed, repeats=max(args.repeats, 3)
+            args.graph_dataset, seed=args.seed, repeats=max(args.repeats, 3),
+            threads=args.threads,
         )
         print(
             f"csr build [{results['dataset']}]: {results['vertices']:,} vertices / "
@@ -529,6 +739,31 @@ def main(argv: list[str] | None = None) -> int:
         _print_speedup(results)
         output["csr_build"] = results
 
+    if args.bench in ("stream", "all"):
+        results = time_stream(
+            args.graph_dataset,
+            app_name=args.stream_app,
+            chunk_edges=args.chunk_edges,
+            threads=args.threads,
+            repeats=args.repeats,
+        )
+        print(
+            f"stream [{results['dataset']}/{results['app']}]: "
+            f"{results['trace_runs']:,} runs in {results['chunks_streamed']} "
+            f"chunks (peak {results['peak_chunk_runs']:,} runs held)"
+        )
+        for path, row in results["paths"].items():
+            print(
+                f"{path:>12s}: {row['seconds']:8.3f}s  "
+                f"{row['accesses_per_second'] / 1e6:8.2f} M accesses/s"
+            )
+        print(
+            f"  fused/materialized time: "
+            f"{results['fused_over_materialized_time']:.2f}x"
+        )
+        output["stream"] = results
+
+    output["config"]["peak_rss_kb"] = peak_rss_kb()
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(output, handle, indent=2, sort_keys=True)

@@ -178,6 +178,48 @@ class TestSharedGraphTransport:
         results = replay.run_grid(*self.GRID, workers=2)
         assert len(results) == 4
 
+    def test_mmap_spill_roundtrip(self, runner, tmp_path):
+        from repro.analysis import sharedgraph
+
+        graphs = {
+            ("lj", False): runner.graph("lj"),
+            ("lj", True): runner.graph("lj", weighted=True),
+        }
+        handles, manifest = sharedgraph.export_graphs_mmap(graphs, tmp_path / "spill")
+        try:
+            assert all(spec["kind"] == "mmap" for spec in manifest.values())
+            attached = sharedgraph.attach_graphs(manifest)
+            for key, original in graphs.items():
+                clone = attached[key]
+                assert clone == original
+                assert isinstance(clone.out_targets, np.memmap)
+                assert not clone.out_targets.flags.writeable
+        finally:
+            sharedgraph.release_graphs(handles)
+        assert not (tmp_path / "spill").exists()
+
+    def test_shm_failure_degrades_to_mmap_transport(self, tmp_path, monkeypatch):
+        """When POSIX shm is unusable the grid ships graphs via mmap spill."""
+        from repro.pipeline import sharedgraph as pipeline_sharedgraph
+
+        def unavailable(graphs):
+            raise pipeline_sharedgraph.SharedMemoryUnavailable("no /dev/shm")
+
+        monkeypatch.setattr(pipeline_sharedgraph, "export_graphs", unavailable)
+        spilled = {}
+        real_spill = pipeline_sharedgraph.export_graphs_mmap
+
+        def spying_spill(graphs, directory):
+            spilled["keys"] = sorted(graphs)
+            return real_spill(graphs, directory)
+
+        monkeypatch.setattr(pipeline_sharedgraph, "export_graphs_mmap", spying_spill)
+        config = ExperimentConfig(scale=0.2, num_roots=1)
+        runner = ExperimentRunner(config, store=ArtifactStore(tmp_path / "m"))
+        results = runner.run_grid(["PR"], ["lj"], ["Original"], workers=2)
+        assert len(results) == 1
+        assert spilled["keys"] == [("lj", False)]
+
     def test_export_failure_falls_back(self, tmp_path, monkeypatch):
         """SharedMemoryUnavailable must degrade to regeneration, not fail."""
         from repro.analysis import sharedgraph

@@ -10,6 +10,13 @@ and asserts byte-for-byte identical results across engines.
 
 The reference side is always executed, so the suite is meaningful on
 machines without a C compiler too (the fast side simply skips).
+
+The suite also covers the two *composition* paths built from those
+kernels: the pthread-chunked ``fast-threaded`` variants (driven with an
+explicit worker count so the parallel code runs even on small inputs
+and single-core CI), and the fused streaming trace→simulate path, whose
+chunked trace must be bit-identical to the monolithic build and whose
+chunk-by-chunk simulation must reproduce the materialized counters.
 """
 
 from __future__ import annotations
@@ -26,7 +33,16 @@ from repro.graph import from_edges
 from repro.graph.csr import _build_dual_csr
 
 #: Engines differentially compared against "reference" per domain.
-ALTERNATES = ("fast",)
+ALTERNATES = ("fast", "fast-threaded")
+
+#: Worker count forced for the threaded engines: enough to give every
+#: phase multiple slices on hypothesis-sized inputs, small enough that
+#: thread spawn overhead stays negligible at 40 examples per property.
+THREADS = 3
+
+
+def _threads_for(engine: str) -> int | None:
+    return THREADS if engine == "fast-threaded" else None
 
 
 def _needs(domain: str, engine: str) -> None:
@@ -102,7 +118,9 @@ def keyed_streams(draw):
 # -- the differential assertions ---------------------------------------------
 
 def sim_counters(trace, config, engine):
-    stats = simulate_trace(trace, config, engine=engine)
+    stats = simulate_trace(
+        trace, config, engine=engine, threads=_threads_for(engine)
+    )
     return (
         stats.accesses,
         stats.l1_misses,
@@ -147,7 +165,9 @@ class TestDifferential:
             builder = TraceBuilder()
             for indices, keys, writes, cores in streams:
                 builder.add(region, indices, keys, write=writes, core=cores)
-            built[choice] = builder.build(engine=choice).packed()
+            built[choice] = builder.build(
+                engine=choice, threads=_threads_for(choice)
+            ).packed()
         for ref_arr, fast_arr in zip(built["reference"], built[engine]):
             assert ref_arr.dtype == fast_arr.dtype
             assert ref_arr.tobytes() == fast_arr.tobytes()
@@ -158,7 +178,10 @@ class TestDifferential:
         _needs("graph", engine)
         n, src, dst, weights, _ = data
         ref = _build_dual_csr(n, src, dst, weights, stable=True, engine="reference")
-        alt = _build_dual_csr(n, src, dst, weights, stable=True, engine=engine)
+        alt = _build_dual_csr(
+            n, src, dst, weights, stable=True, engine=engine,
+            threads=_threads_for(engine),
+        )
         assert_graphs_bitwise_equal(ref, alt)
 
     @given(data=random_edge_lists())
@@ -169,7 +192,7 @@ class TestDifferential:
         graph = from_edges(n, np.stack([src, dst], axis=1), weights)
         mapping = np.random.default_rng(seed).permutation(n)
         ref = graph.relabel(mapping, engine="reference")
-        alt = graph.relabel(mapping, engine=engine)
+        alt = graph.relabel(mapping, engine=engine, threads=_threads_for(engine))
         assert_graphs_bitwise_equal(ref, alt)
 
 
@@ -191,9 +214,62 @@ def test_end_to_end_cell_identical(engine, tmp_path, monkeypatch):
     for choice in ("reference", engine):
         for var in ("REPRO_SIM_ENGINE", "REPRO_TRACE_ENGINE", "REPRO_GRAPH_ENGINE"):
             monkeypatch.setenv(var, choice)
+        monkeypatch.setenv("REPRO_KERNEL_THREADS", str(THREADS))
         pipeline = CellPipeline(
             ExperimentConfig(scale=0.15, num_roots=1),
             store=ArtifactStore(tmp_path / choice),
         )
         results[choice] = pipeline.cell("PR", "wl", "DBG")
     assert results["reference"] == results[engine]
+
+
+STREAM_CASES = [("PR", "wl"), ("BFS", "tw"), ("SSSP", "pl")]
+
+
+class TestFusedStreaming:
+    """The fused streaming path vs the monolithic trace, per app family."""
+
+    @staticmethod
+    def _graph_app_plan(app_name: str, dataset: str):
+        from repro.apps import make_app
+        from repro.graph.generators import load_dataset
+
+        graph = load_dataset(dataset, scale=0.15, weighted=app_name == "SSSP")
+        app = make_app(app_name)
+        kwargs = {}
+        if app_name in ("SSSP", "BC"):
+            kwargs["root"] = int(np.argmax(graph.out_degrees()))
+        return graph, app, app.plan(graph, **kwargs)
+
+    @pytest.mark.parametrize("app_name,dataset", STREAM_CASES)
+    def test_streamed_trace_bitwise_identical(self, app_name, dataset):
+        """Chunked production must reproduce the monolithic run sequence."""
+        graph, app, plan = self._graph_app_plan(app_name, dataset)
+        mono = app.trace(graph, plan)
+        # A chunk size far below the edge count forces many seams.
+        fused = app.trace_streaming(graph, plan, chunk_edges=2048)
+        materialized = fused.trace.materialize()
+        for ref_arr, alt_arr in zip(mono.trace.packed(), materialized.packed()):
+            assert ref_arr.dtype == alt_arr.dtype
+            assert ref_arr.tobytes() == alt_arr.tobytes()
+        assert fused.trace.chunks_streamed > 1
+        assert fused.instructions == mono.instructions
+        assert fused.superstep_multiplier == mono.superstep_multiplier
+
+    @pytest.mark.parametrize("app_name,dataset", STREAM_CASES)
+    def test_fused_simulation_matches_two_stage(self, app_name, dataset):
+        """Chunk-by-chunk simulation == simulating the stored trace."""
+        _needs("sim", "fast")  # streaming needs the kernel's persistent state
+        graph, app, plan = self._graph_app_plan(app_name, dataset)
+        mono = app.trace(graph, plan)
+        config = HierarchyConfig(
+            l1=CacheGeometry(512, 2),
+            l2=CacheGeometry(2048, 4),
+            l3=CacheGeometry(8192, 8),
+        )
+        expected = sim_counters(mono.trace, config, "fast")
+        fused = app.trace_streaming(graph, plan, chunk_edges=2048)
+        assert sim_counters(fused.trace, config, "fast") == expected
+        # The consumed totals must account for the whole trace.
+        assert fused.trace.runs_streamed == len(mono.trace)
+        assert fused.trace.accesses_streamed == mono.trace.total_accesses

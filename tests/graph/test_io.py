@@ -3,8 +3,66 @@
 import numpy as np
 import pytest
 
+from repro.graph import csr
+from repro.graph.csr import Graph
 from repro.graph.io import load_edge_list, load_npz, save_edge_list, save_npz
 from tests.conftest import make_random_graph
+
+
+class TestMmapSaveLoad:
+    def test_roundtrip_eager(self, tmp_path):
+        g = make_random_graph(seed=21)
+        g.save(tmp_path)
+        assert Graph.load(tmp_path, mmap=False) == g
+
+    def test_roundtrip_mapped(self, tmp_path):
+        g = make_random_graph(weighted=True, seed=22)
+        g.save(tmp_path)
+        loaded = Graph.load(tmp_path, mmap=True)
+        assert loaded == g
+        assert isinstance(loaded.out_targets, np.memmap)
+        assert not loaded.out_targets.flags.writeable
+        assert isinstance(loaded.out_weights, np.memmap)
+
+    def test_budget_routes_to_mmap(self, tmp_path, monkeypatch):
+        g = make_random_graph(seed=23)
+        g.save(tmp_path)
+        monkeypatch.setenv(csr.GRAPH_MMAP_BYTES_ENV, "1")
+        assert isinstance(Graph.load(tmp_path).out_targets, np.memmap)
+        monkeypatch.setenv(csr.GRAPH_MMAP_BYTES_ENV, str(1 << 40))
+        assert not isinstance(Graph.load(tmp_path).out_targets, np.memmap)
+
+    def test_zero_budget_disables_mapping(self, tmp_path, monkeypatch):
+        g = make_random_graph(seed=24)
+        g.save(tmp_path)
+        monkeypatch.setenv(csr.GRAPH_MMAP_BYTES_ENV, "0")
+        assert not isinstance(Graph.load(tmp_path).out_targets, np.memmap)
+
+    def test_bad_budget_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(csr.GRAPH_MMAP_BYTES_ENV, "lots")
+        with pytest.raises(ValueError, match=csr.GRAPH_MMAP_BYTES_ENV):
+            csr.graph_mmap_budget()
+
+    def test_inconsistent_metadata_rejected(self, tmp_path):
+        g = make_random_graph(seed=25)
+        g.save(tmp_path)
+        meta = tmp_path / "meta.json"
+        meta.write_text(meta.read_text().replace(
+            f'"num_edges": {g.num_edges}', f'"num_edges": {g.num_edges + 1}'
+        ))
+        with pytest.raises(ValueError, match="inconsistent"):
+            Graph.load(tmp_path, mmap=False)
+
+    def test_nbytes_counts_every_array(self):
+        g = make_random_graph(weighted=True, seed=26)
+        expected = sum(
+            getattr(g, n).nbytes
+            for n in (
+                "out_offsets", "out_targets", "in_offsets", "in_sources",
+                "out_weights", "in_weights",
+            )
+        )
+        assert g.nbytes() == expected
 
 
 class TestNpz:

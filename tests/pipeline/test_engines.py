@@ -61,6 +61,36 @@ class TestValidateEnv:
         assert engines.validate_env(("sim",)) == {"sim": "auto"}
 
 
+class TestKernelThreads:
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(engines.THREADS_ENV, "7")
+        assert engines.resolve_kernel_threads(3) == 3
+
+    def test_env_wins_over_fallback(self, monkeypatch):
+        monkeypatch.setenv(engines.THREADS_ENV, "7")
+        assert engines.resolve_kernel_threads(fallback=2) == 7
+
+    def test_fallback_then_auto(self, monkeypatch):
+        monkeypatch.delenv(engines.THREADS_ENV, raising=False)
+        assert engines.resolve_kernel_threads(fallback=2) == 2
+        assert engines.resolve_kernel_threads() >= 1
+
+    def test_clamped_to_one(self):
+        assert engines.resolve_kernel_threads(0) == 1
+        assert engines.resolve_kernel_threads(-4) == 1
+
+    @pytest.mark.parametrize("value", ["zero", "0", "-1", "1.5"])
+    def test_bad_env_value_raises_naming_variable(self, monkeypatch, value):
+        monkeypatch.setenv(engines.THREADS_ENV, value)
+        with pytest.raises(ValueError, match=engines.THREADS_ENV):
+            engines.resolve_kernel_threads()
+
+    def test_validated_with_env(self, monkeypatch):
+        monkeypatch.setenv(engines.THREADS_ENV, "bogus")
+        with pytest.raises(ValueError, match=engines.THREADS_ENV):
+            engines.validate_env()
+
+
 class TestDelegation:
     """The three historical resolvers must route through the registry."""
 
@@ -101,7 +131,10 @@ class TestStatus:
         for domain in engines.DOMAINS.values():
             monkeypatch.delenv(domain.env_var, raising=False)
         report = engines.status()
-        assert set(report) == {"sim", "trace", "graph"}
+        assert set(report) == {"sim", "trace", "graph", "kernel_threads"}
+        threads = report.pop("kernel_threads")
+        assert threads["env_var"] == engines.THREADS_ENV
+        assert threads["resolved"] >= 1
         for name, entry in report.items():
             assert entry["engine"] == "auto"
             assert entry["env_var"] == engines.DOMAINS[name].env_var

@@ -9,7 +9,8 @@ from repro.pipeline.stages import PIPELINE, StageGraph, StageSpec
 class TestPipelineShape:
     def test_stage_order(self):
         assert PIPELINE.names == (
-            "generate", "mapping", "relabel", "trace", "simulate", "model"
+            "generate", "mapping", "relabel", "trace", "simulate",
+            "trace+simulate", "model",
         )
 
     def test_persisted_stages_and_kinds(self):
@@ -42,6 +43,36 @@ class TestPipelineShape:
         monkeypatch.setenv("REPRO_TRACE_ENGINE", "sloppy")
         with pytest.raises(ValueError, match="REPRO_TRACE_ENGINE"):
             PIPELINE.validate_engines()
+
+
+class TestFusedRouting:
+    def test_fused_stage_is_memory_resident(self):
+        spec = PIPELINE.spec("trace+simulate")
+        assert spec.artifact_kind is None
+        assert set(spec.engine_domains) == {"trace", "sim"}
+        assert set(spec.deps) == {"generate", "mapping", "relabel"}
+
+    def test_budget_default(self, monkeypatch):
+        monkeypatch.delenv(stages.FUSED_TRACE_BYTES_ENV, raising=False)
+        assert stages.fused_trace_budget() == stages.DEFAULT_FUSED_TRACE_BYTES
+
+    def test_budget_env_override(self, monkeypatch):
+        monkeypatch.setenv(stages.FUSED_TRACE_BYTES_ENV, "4096")
+        assert stages.fused_trace_budget() == 4096
+
+    def test_budget_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv(stages.FUSED_TRACE_BYTES_ENV, "huge")
+        with pytest.raises(ValueError, match=stages.FUSED_TRACE_BYTES_ENV):
+            stages.fused_trace_budget()
+
+    def test_use_fused_trace_threshold(self):
+        budget = stages.estimated_trace_bytes(1000)
+        assert not stages.use_fused_trace(1000, budget)
+        assert stages.use_fused_trace(1001, budget)
+
+    def test_zero_budget_disables_fusing(self):
+        assert not stages.use_fused_trace(10**12, 0)
+        assert not stages.use_fused_trace(10**12, -5)
 
 
 class TestGraphValidation:
