@@ -1,0 +1,225 @@
+"""CI gate + latency benchmark for the reordering service.
+
+Boots a :class:`~repro.serve.server.ReorderService` in-process (real TCP
+on an ephemeral localhost port, real worker processes) and drives it
+with many concurrent keep-alive clients through three phases:
+
+* **cold** — every request targets a distinct artifact, but each is
+  issued by several clients at once (the duplicate mix): asserts the
+  coalescer collapses each duplicate group onto exactly one pool
+  execution, counted from the scheduler metrics *and* cross-checked
+  against the store counters (stores == unique artifacts);
+* **warm** — the same request set replayed: asserts every response is
+  served from the store (``source == "warm"``) with *zero* additional
+  pool executions, and gates the warm p99 latency;
+* **coalesced** — one uncached artifact hammered by every client
+  simultaneously: asserts exactly one execution and N-1 coalesced
+  responses.
+
+Emits ``BENCH_serve.json`` with per-phase p50/p99 latency and aggregate
+RPS plus the scheduler counters.  Usage::
+
+    PYTHONPATH=src python benchmarks/serve_load_check.py \
+        [--clients 64] [--workers 4] [--duplicates 2] [--warm-p99-ms 50]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.pipeline.cells import ExperimentConfig
+from repro.pipeline.store import ArtifactStore
+from repro.serve.client import ServeClient
+from repro.serve.server import ReorderService
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+#: Request templates cycled to build the cold/warm working set (6x6 = 36
+#: combinations, enough distinct jobs for 64 clients at a 50% dup mix).
+TECHNIQUES = ("DBG", "Sort", "HubSort", "HubCluster", "RandomVertex", "BFS")
+DATASETS = ("uni", "pl", "wl", "lj", "kr", "mp")
+
+
+def percentile(samples: list[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+def build_requests(clients: int, duplicates: int) -> list[dict]:
+    """One request per client; each unique job is shared by ``duplicates``.
+
+    With ``--duplicates 2`` (the default) half the traffic is redundant —
+    the 50% duplicate mix of the acceptance gate.
+    """
+    unique = max(1, clients // duplicates)
+    jobs = []
+    for i in range(unique):
+        jobs.append(
+            {
+                "graph": DATASETS[i % len(DATASETS)],
+                "technique": TECHNIQUES[(i // len(DATASETS)) % len(TECHNIQUES)],
+            }
+        )
+    return [jobs[i % unique] for i in range(clients)]
+
+
+async def run_phase(
+    label: str, clients: list[ServeClient], requests: list[dict]
+) -> dict:
+    """Fire one request per client simultaneously; collect latency + meta."""
+
+    async def one(client: ServeClient, body: dict) -> tuple[float, dict]:
+        t0 = time.monotonic()
+        status, payload = await client.post("/v1/reorder", body)
+        elapsed = time.monotonic() - t0
+        assert status == 200, f"[{label}] {body} -> {status}: {payload}"
+        return elapsed, payload["meta"]
+
+    t0 = time.monotonic()
+    outcomes = await asyncio.gather(
+        *(one(client, body) for client, body in zip(clients, requests))
+    )
+    wall = time.monotonic() - t0
+    latencies = [elapsed for elapsed, _ in outcomes]
+    sources: dict[str, int] = {}
+    for _, meta in outcomes:
+        sources[meta["source"]] = sources.get(meta["source"], 0) + 1
+    summary = {
+        "requests": len(outcomes),
+        "wall_s": round(wall, 4),
+        "rps": round(len(outcomes) / wall, 1) if wall else 0.0,
+        "p50_ms": round(1000 * percentile(latencies, 0.50), 3),
+        "p99_ms": round(1000 * percentile(latencies, 0.99), 3),
+        "sources": sources,
+    }
+    print(f"[{label}] {summary}")
+    return summary
+
+
+async def run(args: argparse.Namespace) -> dict:
+    store = ArtifactStore(args.store_dir)
+    service = ReorderService(
+        config=ExperimentConfig(scale=args.scale, num_roots=1),
+        store=store,
+        workers=args.workers,
+        max_queue=max(256, 4 * args.clients),
+    )
+    await service.start()
+    clients = [
+        await ServeClient(service.host, service.port).connect()
+        for _ in range(args.clients)
+    ]
+    try:
+        requests = build_requests(args.clients, args.duplicates)
+        unique = len({(r["graph"], r["technique"]) for r in requests})
+
+        cold = await run_phase("cold", clients, requests)
+        counters = service.metrics.snapshot()["counters"]
+        executions = int(counters.get("serve.executions", 0))
+        # Exactly-once: one pool execution per unique artifact, no matter
+        # how many clients raced on it.  (A fast job can land before its
+        # duplicate arrives — that duplicate is served warm, never
+        # recomputed — so executions is bounded by unique, not equal to
+        # the coalesce count's complement.)
+        assert executions <= unique, (
+            f"duplicate stage executions: {executions} executions for "
+            f"{unique} unique artifacts"
+        )
+        stores = service.store.stats.as_dict().get("mapping", {})
+        assert stores.get("stores", 0) <= unique, stores
+        coalesced_total = int(counters.get("serve.coalesced", 0))
+        expected_dupes = len(requests) - unique
+        min_coalesced = int(args.min_coalesce_rate * expected_dupes)
+        assert coalesced_total >= min_coalesced, (
+            f"coalesce rate too low: {coalesced_total}/{expected_dupes} "
+            f"duplicates coalesced (wanted >= {min_coalesced})"
+        )
+
+        warm = await run_phase("warm", clients, requests)
+        warm_counters = service.metrics.snapshot()["counters"]
+        warm_execs = int(warm_counters.get("serve.executions", 0)) - executions
+        assert warm_execs == 0, f"warm pass recomputed {warm_execs} artifacts"
+        assert warm["sources"] == {"warm": len(requests)}, warm["sources"]
+        assert warm["p99_ms"] <= args.warm_p99_ms, (
+            f"warm p99 {warm['p99_ms']}ms exceeds budget {args.warm_p99_ms}ms"
+        )
+
+        hot = {"graph": DATASETS[0], "technique": "Community"}
+        coalesced = await run_phase("coalesced", clients, [hot] * len(clients))
+        final = service.metrics.snapshot()["counters"]
+        hot_execs = int(final.get("serve.executions", 0)) - executions
+        assert hot_execs == 1, f"hot artifact executed {hot_execs} times"
+        assert coalesced["sources"].get("coalesced", 0) == len(clients) - 1, (
+            coalesced["sources"]
+        )
+
+        return {
+            "config": {
+                "clients": args.clients,
+                "workers": args.workers,
+                "duplicates": args.duplicates,
+                "scale": args.scale,
+                "unique_jobs": unique,
+            },
+            "cold": cold,
+            "warm": warm,
+            "coalesced": coalesced,
+            "counters": {k: v for k, v in sorted(final.items())},
+        }
+    finally:
+        for client in clients:
+            await client.close()
+        await service.stop()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=64)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--duplicates",
+        type=int,
+        default=2,
+        help="clients per unique job (2 = 50%% duplicate traffic)",
+    )
+    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument(
+        "--warm-p99-ms", type=float, default=50.0, help="warm-phase p99 budget"
+    )
+    parser.add_argument(
+        "--min-coalesce-rate",
+        type=float,
+        default=0.5,
+        help="fraction of duplicate requests that must coalesce in-flight",
+    )
+    parser.add_argument(
+        "--store-dir", default=None, help="store root (default: fresh tempdir)"
+    )
+    args = parser.parse_args(argv)
+
+    if args.store_dir:
+        payload = asyncio.run(run(args))
+    else:
+        with tempfile.TemporaryDirectory(prefix="serve-load-") as tmp:
+            args.store_dir = tmp
+            payload = asyncio.run(run(args))
+
+    BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(
+        f"ok: {args.clients} clients, warm p99 {payload['warm']['p99_ms']}ms, "
+        f"zero duplicate executions; wrote {BENCH_PATH.name}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -196,6 +196,41 @@ class Tracer:
         )
         return _SpanContext(self, span)
 
+    def record_span(
+        self,
+        name: str,
+        start: float,
+        wall_s: float,
+        cpu_s: float = 0.0,
+        parent_id: str | None = None,
+        **tags,
+    ) -> str:
+        """Record a completed span measured externally; returns its id.
+
+        The context-manager form (:meth:`span`) nests through a
+        thread-local stack, which cannot express work interleaved on one
+        thread — an asyncio server awaits between a request's start and
+        finish while other requests open their own spans.  Such callers
+        time the region themselves and record it here; the event lands in
+        the same stream with the same shape.
+        """
+        span_id = f"{self.pid:x}-{next(self._ids):x}"
+        self._emit(
+            {
+                "type": "span",
+                "name": name,
+                "span_id": span_id,
+                "parent_id": parent_id,
+                "pid": self.pid,
+                "ts": start,
+                "wall_s": wall_s,
+                "cpu_s": cpu_s,
+                "max_rss_kb": None,
+                "tags": tags,
+            }
+        )
+        return span_id
+
     def event(self, name: str, **tags) -> None:
         """Record a zero-duration point event into the stream."""
         parent = self.current_span()

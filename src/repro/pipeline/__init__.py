@@ -26,7 +26,7 @@ from repro.pipeline.cells import (
     CellResult,
     ExperimentConfig,
 )
-from repro.pipeline.grid import plan_stage_jobs, run_grid
+from repro.pipeline.grid import StageExecutor, plan_stage_jobs, run_grid
 from repro.pipeline.stages import (
     PIPELINE,
     StageGraph,
@@ -56,6 +56,7 @@ __all__ = [
     "PIPELINE",
     "ROOT_APPS",
     "SCHEMA_VERSION",
+    "StageExecutor",
     "StageGraph",
     "StageSpec",
     "StoreStats",

@@ -43,7 +43,8 @@ from __future__ import annotations
 
 import itertools
 import tempfile
-from concurrent.futures import ProcessPoolExecutor
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor
 
 from repro import observability
 from repro.observability import TRACER
@@ -53,7 +54,7 @@ from repro.pipeline.cells import ROOT_APPS, CellPipeline, CellResult, Experiment
 from repro.pipeline.stages import PIPELINE
 from repro.pipeline.store import ArtifactStore, diff_store_snapshots
 
-__all__ = ["run_grid", "plan_stage_jobs"]
+__all__ = ["run_grid", "plan_stage_jobs", "StageExecutor"]
 
 
 def plan_stage_jobs(
@@ -202,29 +203,130 @@ def _run_grid_parallel(
         _PHASE["name"] = "share-graphs"
         handles, manifest = _export_grid_graphs(pipeline, missing)
     try:
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_worker_init,
-            initargs=(pipeline.config, str(pipeline.store.directory), manifest),
-        ) as pool:
+        with StageExecutor(pipeline, workers, manifest=manifest) as executor:
             # Phase barriers are what make "exactly once" true: a phase's
             # artifacts are all published before any consumer starts.
             _PHASE["name"] = "mapping"
-            for deltas in pool.map(_worker_mapping, mapping_jobs):
-                _merge_deltas(pipeline, deltas)
+            for future in [executor.submit_mapping(*job) for job in mapping_jobs]:
+                future.result()
             _PHASE["name"] = "trace"
-            for deltas in pool.map(_worker_trace, trace_jobs):
-                _merge_deltas(pipeline, deltas)
+            for future in [executor.submit_trace(*job) for job in trace_jobs]:
+                future.result()
             _PHASE["name"] = "cells"
-            results = []
-            for result, *deltas in pool.map(_worker_cell, cells):
-                _merge_deltas(pipeline, deltas)
-                results.append(result)
-            return results
+            futures = [executor.submit_cell(*spec) for spec in cells]
+            return [future.result() for future in futures]
     finally:
         # The name disappears now; the OS frees the memory when the
         # last worker mapping is gone (already, at this point).
         sharedgraph.release_graphs(handles)
+
+
+class _StageFuture(Future):
+    """Future for one submitted stage job, linked to its pool future.
+
+    Cancelling it propagates to the underlying pool submission, so a
+    queued-but-unstarted job (e.g. every client of a coalesced serve
+    request disconnected) never occupies a worker.
+    """
+
+    def __init__(self, inner: Future) -> None:
+        super().__init__()
+        self._inner = inner
+
+    def cancel(self) -> bool:  # noqa: D102 - contract inherited from Future
+        self._inner.cancel()
+        return super().cancel()
+
+
+class StageExecutor:
+    """Persistent stage-granular worker pool with an incremental submit API.
+
+    :func:`run_grid` drives it in batch mode — submit a whole phase, wait
+    on the phase's futures, move on — while the serving layer
+    (:mod:`repro.serve`) keeps one executor alive across requests and
+    feeds it jobs one at a time as clients arrive.  Either way, every job
+    ships its (profiler, store-stats, tracer-events) deltas back with the
+    result and the executor folds them into the owning pipeline under a
+    lock, so accounting stays exactly as coherent as the historical
+    phase-mapped pools.
+
+    ``pipeline_cls`` lets a caller run a :class:`CellPipeline` subclass
+    in the workers (the serving layer's upload-aware pipeline); it must
+    be constructible as ``cls(config, store=ArtifactStore(dir))``.
+    """
+
+    def __init__(
+        self,
+        pipeline: CellPipeline,
+        workers: int,
+        manifest: dict | None = None,
+        pipeline_cls: type | None = None,
+    ) -> None:
+        self._pipeline = pipeline
+        self._merge_lock = threading.Lock()
+        self.workers = workers
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=(
+                pipeline.config,
+                str(pipeline.store.directory),
+                manifest,
+                pipeline_cls or type(pipeline),
+            ),
+        )
+
+    # -- submit API ----------------------------------------------------------
+    def submit(self, fn, job) -> Future:
+        """Submit ``fn(job)`` (a module-level worker returning
+        ``(payload, deltas)``) and return a future for the payload.
+
+        Delta folding happens in the pool's completion callback under the
+        executor's lock — safe because every merge target (profiler,
+        store stats, tracer, run log) is itself lock-guarded.
+        """
+        inner = self._pool.submit(fn, job)
+        outer = _StageFuture(inner)
+
+        def _done(finished: Future) -> None:
+            if finished.cancelled():
+                return
+            exc = finished.exception()
+            if exc is not None:
+                if not outer.cancelled():
+                    outer.set_exception(exc)
+                return
+            payload, deltas = finished.result()
+            with self._merge_lock:
+                _merge_deltas(self._pipeline, deltas)
+            if not outer.cancelled():
+                outer.set_result(payload)
+
+        inner.add_done_callback(_done)
+        return outer
+
+    def submit_mapping(self, dataset: str, technique: str, degree_kind: str) -> Future:
+        return self.submit(_worker_mapping, (dataset, technique, degree_kind))
+
+    def submit_trace(
+        self, app: str, dataset: str, technique: str, root: int | None
+    ) -> Future:
+        return self.submit(_worker_trace, (app, dataset, technique, root))
+
+    def submit_cell(self, app: str, dataset: str, technique: str) -> Future:
+        return self.submit(_worker_cell, (app, dataset, technique))
+
+    # -- lifecycle -----------------------------------------------------------
+    def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
+        self._pool.shutdown(wait=wait, cancel_futures=cancel_pending)
+
+    def __enter__(self) -> "StageExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # On failure, drop jobs still queued behind the failing one; jobs
+        # already running finish (their artifacts stay valid and warm).
+        self.shutdown(wait=True, cancel_pending=exc_type is not None)
 
 
 def _merge_deltas(pipeline: CellPipeline, deltas: tuple) -> None:
@@ -251,10 +353,14 @@ _WORKER: CellPipeline | None = None
 
 
 def _worker_init(
-    config: ExperimentConfig, store_dir: str, manifest: dict | None = None
+    config: ExperimentConfig,
+    store_dir: str,
+    manifest: dict | None = None,
+    pipeline_cls: type | None = None,
 ) -> None:
     global _WORKER
-    _WORKER = CellPipeline(config, store=ArtifactStore(store_dir))
+    cls = pipeline_cls or CellPipeline
+    _WORKER = cls(config, store=ArtifactStore(store_dir))
     if manifest:
         try:
             _WORKER.seed_graphs(sharedgraph.attach_graphs(manifest))
@@ -262,7 +368,19 @@ def _worker_init(
             pass  # regenerate per worker, as before graph sharing
 
 
-def _job_deltas(before_profile, before_store) -> tuple:
+def worker_pipeline() -> CellPipeline:
+    """The per-process pipeline a pool worker was initialized with.
+
+    Entry point for worker functions living outside this module (the
+    serving layer's job runners); raises if called off a pool worker.
+    """
+    if _WORKER is None:
+        raise RuntimeError("worker_pipeline() called outside an initialized worker")
+    return _WORKER
+
+
+def job_deltas(before_profile, before_store) -> tuple:
+    """(profiler, store-stats, events) accumulated since the snapshots."""
     assert _WORKER is not None
     return (
         diff_snapshots(PROFILER.snapshot(), before_profile),
@@ -273,22 +391,25 @@ def _job_deltas(before_profile, before_store) -> tuple:
     )
 
 
-def _worker_mapping(job: tuple) -> tuple:
+def job_snapshots() -> tuple:
+    """Profiler + store-stats snapshots taken at job start."""
     assert _WORKER is not None, "worker used without initializer"
-    before = (PROFILER.snapshot(), _WORKER.store.stats.snapshot())
+    return (PROFILER.snapshot(), _WORKER.store.stats.snapshot())
+
+
+def _worker_mapping(job: tuple) -> tuple:
+    before = job_snapshots()
     _WORKER.compute_mapping_stage(*job)
-    return _job_deltas(*before)
+    return None, job_deltas(*before)
 
 
 def _worker_trace(job: tuple) -> tuple:
-    assert _WORKER is not None, "worker used without initializer"
-    before = (PROFILER.snapshot(), _WORKER.store.stats.snapshot())
+    before = job_snapshots()
     _WORKER.compute_trace_stage(*job)
-    return _job_deltas(*before)
+    return None, job_deltas(*before)
 
 
 def _worker_cell(spec: tuple[str, str, str]) -> tuple:
-    assert _WORKER is not None, "worker used without initializer"
-    before = (PROFILER.snapshot(), _WORKER.store.stats.snapshot())
+    before = job_snapshots()
     result = _WORKER.cell(*spec)
-    return (result, *_job_deltas(*before))
+    return result, job_deltas(*before)

@@ -40,6 +40,20 @@ worker's deltas back to the parent, so a grid reports one coherent
 — CI's warm-grid job asserts zero recomputes this way.  :meth:`ArtifactStore.gc`
 evicts oldest-first down to a byte budget; ``repro-cache`` exposes
 ``ls`` / ``stats`` / ``gc`` / ``clear`` over all of it.
+
+Namespaces
+----------
+A store optionally serves *tenants*: :meth:`ArtifactStore.namespaced`
+returns a view over the same root whose artifacts live under
+``ns/<tenant>/`` with the identical addressing scheme.  The root
+namespace holds artifacts shared by everyone (generator-spec graphs and
+their derived stages); tenant namespaces isolate private uploads and
+their derived artifacts.  Accounting (:meth:`ArtifactStore.usage`) and
+eviction (:meth:`ArtifactStore.gc` with ``namespace=`` / ``keep_kinds=``)
+are namespace-aware, so one tenant's eviction pressure cannot purge
+another tenant's — or the shared tier's — hot artifacts.  All views of
+one root share a single :class:`StoreStats`, so hit/miss accounting
+stays coherent no matter which namespace served a request.
 """
 
 from __future__ import annotations
@@ -58,6 +72,7 @@ from repro.observability.tracing import TRACER
 
 __all__ = [
     "SCHEMA_VERSION",
+    "NAMESPACE_DIR",
     "KindStats",
     "StoreStats",
     "diff_store_snapshots",
@@ -73,6 +88,11 @@ SCHEMA_VERSION = 10
 #: On-disk artifact name: ``{kind}-{digest}.pkl``.
 _ARTIFACT_RE = re.compile(r"^([a-z][a-z0-9_]*)-([0-9a-f]{32})\.pkl$")
 _KIND_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+#: Tenant namespace names (directory-safe lowercase tokens).
+_NAMESPACE_RE = re.compile(r"^[a-z0-9][a-z0-9_.-]{0,63}$")
+
+#: Subdirectory of the store root holding the tenant namespaces.
+NAMESPACE_DIR = "ns"
 
 #: Everything that can surface when unpickling a damaged or alien file.
 _CORRUPT_ERRORS = (
@@ -198,14 +218,38 @@ class ArtifactInfo:
     kind: str  #: parsed from the filename; ``"(legacy)"`` for foreign files
     nbytes: int
     mtime: float
+    #: Tenant namespace the artifact lives in (``None`` = shared root).
+    namespace: str | None = None
 
 
 class ArtifactStore:
     """Atomic, schema-versioned, corruption-tolerant artifact storage."""
 
-    def __init__(self, directory: Path | str | None = None) -> None:
-        self.directory = Path(directory) if directory else default_store_dir()
-        self.stats = StoreStats()
+    def __init__(
+        self,
+        directory: Path | str | None = None,
+        namespace: str | None = None,
+        stats: StoreStats | None = None,
+    ) -> None:
+        self.root = Path(directory) if directory else default_store_dir()
+        if namespace is not None and not _NAMESPACE_RE.match(namespace):
+            raise ValueError(
+                f"bad store namespace {namespace!r} (want [a-z0-9][a-z0-9_.-]*)"
+            )
+        self.namespace = namespace
+        self.directory = (
+            self.root / NAMESPACE_DIR / namespace if namespace else self.root
+        )
+        self.stats = stats if stats is not None else StoreStats()
+
+    def namespaced(self, namespace: str | None) -> "ArtifactStore":
+        """A view over the same root rooted at a tenant namespace.
+
+        The view shares this store's :class:`StoreStats`, so hit/miss
+        accounting stays coherent across namespaces; ``None`` returns a
+        shared-root view.
+        """
+        return ArtifactStore(self.root, namespace=namespace, stats=self.stats)
 
     # -- addressing ----------------------------------------------------------
     def path_for(self, kind: str, key: object) -> Path:
@@ -313,12 +357,11 @@ class ArtifactStore:
                 pass
 
     # -- maintenance ---------------------------------------------------------
-    def ls(self) -> list[ArtifactInfo]:
-        """All files in the store, newest first; foreign files as legacy."""
+    def _ls_dir(self, directory: Path, namespace: str | None) -> list[ArtifactInfo]:
         entries: list[ArtifactInfo] = []
-        if not self.directory.is_dir():
+        if not directory.is_dir():
             return entries
-        for path in self.directory.iterdir():
+        for path in directory.iterdir():
             if not path.is_file():
                 continue
             match = _ARTIFACT_RE.match(path.name)
@@ -327,23 +370,88 @@ class ArtifactStore:
                 stat = path.stat()
             except OSError:
                 continue
-            entries.append(ArtifactInfo(path, kind, stat.st_size, stat.st_mtime))
+            entries.append(
+                ArtifactInfo(path, kind, stat.st_size, stat.st_mtime, namespace)
+            )
+        return entries
+
+    def ls(self) -> list[ArtifactInfo]:
+        """Files in this store view's directory, newest first."""
+        entries = self._ls_dir(self.directory, self.namespace)
         entries.sort(key=lambda e: e.mtime, reverse=True)
         return entries
+
+    def namespaces(self) -> list[str]:
+        """Tenant namespaces present under the store root."""
+        base = self.root / NAMESPACE_DIR
+        if not base.is_dir():
+            return []
+        return sorted(p.name for p in base.iterdir() if p.is_dir())
+
+    def ls_all(self) -> list[ArtifactInfo]:
+        """Artifacts across the shared root and every tenant namespace."""
+        entries = self._ls_dir(self.root, None)
+        for ns in self.namespaces():
+            entries.extend(self._ls_dir(self.root / NAMESPACE_DIR / ns, ns))
+        entries.sort(key=lambda e: e.mtime, reverse=True)
+        return entries
+
+    def usage(self) -> dict[str, dict]:
+        """Per-namespace, per-kind byte/count accounting (``""`` = root).
+
+        The surface tenant-fair eviction policies and the ``repro-cache``
+        CLI budget against: each namespace owns exactly the bytes under
+        its directory, never a share of someone else's.
+        """
+        out: dict[str, dict] = {}
+        for info in self.ls_all():
+            kinds = out.setdefault(info.namespace or "", {})
+            entry = kinds.setdefault(info.kind, {"artifacts": 0, "bytes": 0})
+            entry["artifacts"] += 1
+            entry["bytes"] += info.nbytes
+        return out
 
     def total_bytes(self) -> int:
         return sum(info.nbytes for info in self.ls())
 
-    def gc(self, max_bytes: int) -> dict:
+    def _gc_scope(self, namespace: str | None) -> tuple[list[ArtifactInfo], list[Path]]:
+        """Entries + quarantine dirs a gc invocation is allowed to touch.
+
+        An explicit ``namespace`` (or a namespaced view) confines eviction
+        to that tenant's directory; a root view with no namespace governs
+        the whole store — shared tier and every tenant alike.
+        """
+        namespace = namespace if namespace is not None else self.namespace
+        if namespace is not None:
+            directory = self.root / NAMESPACE_DIR / namespace
+            return self._ls_dir(directory, namespace), [directory / "quarantine"]
+        quarantines = [self.root / "quarantine"] + [
+            self.root / NAMESPACE_DIR / ns / "quarantine" for ns in self.namespaces()
+        ]
+        return self.ls_all(), quarantines
+
+    def gc(
+        self,
+        max_bytes: int,
+        namespace: str | None = None,
+        keep_kinds: tuple[str, ...] = (),
+    ) -> dict:
         """Evict artifacts, oldest first, until at most ``max_bytes`` remain.
 
-        Quarantined and legacy/foreign files are removed unconditionally —
-        they can never be addressed again.  Returns a summary dict.
+        ``namespace`` confines both the accounting and the eviction to one
+        tenant's directory, so one tenant's pressure never purges another
+        tenant's (or the shared tier's) artifacts; ``keep_kinds`` exempts
+        whole artifact kinds from eviction (their bytes still count
+        against the budget, so the summary reports an honest remainder).
+        Quarantined and legacy/foreign files in scope are removed
+        unconditionally — they can never be addressed again.
         """
         removed = 0
         freed = 0
-        quarantine = self.directory / "quarantine"
-        if quarantine.is_dir():
+        entries, quarantines = self._gc_scope(namespace)
+        for quarantine in quarantines:
+            if not quarantine.is_dir():
+                continue
             for path in quarantine.iterdir():
                 try:
                     size = path.stat().st_size
@@ -352,11 +460,8 @@ class ArtifactStore:
                     freed += size
                 except OSError:
                     pass
-            try:
+            with contextlib.suppress(OSError):
                 quarantine.rmdir()
-            except OSError:
-                pass
-        entries = self.ls()
         for info in [e for e in entries if e.kind == "(legacy)"]:
             try:
                 info.path.unlink()
@@ -366,9 +471,13 @@ class ArtifactStore:
             except OSError:
                 pass
         total = sum(e.nbytes for e in entries)
+        kept = 0
         for info in sorted(entries, key=lambda e: e.mtime):  # oldest first
             if total <= max_bytes:
                 break
+            if info.kind in keep_kinds:
+                kept += info.nbytes
+                continue
             try:
                 info.path.unlink()
                 removed += 1
@@ -376,7 +485,20 @@ class ArtifactStore:
                 total -= info.nbytes
             except OSError:
                 pass
-        return {"removed": removed, "freed_bytes": freed, "remaining_bytes": total}
+        base = self.root / NAMESPACE_DIR
+        if base.is_dir():
+            # Prune namespace directories gc emptied (best-effort).
+            for ns_dir in base.iterdir():
+                with contextlib.suppress(OSError):
+                    ns_dir.rmdir()
+            with contextlib.suppress(OSError):
+                base.rmdir()
+        return {
+            "removed": removed,
+            "freed_bytes": freed,
+            "remaining_bytes": total,
+            "kept_bytes": kept,
+        }
 
     def clear(self) -> int:
         """Remove every artifact (and the quarantine); returns files removed."""

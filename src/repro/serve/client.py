@@ -1,0 +1,86 @@
+"""Tiny asyncio JSON client for the reordering service.
+
+One :class:`ServeClient` holds one keep-alive connection; the load
+benchmark opens N of them to model N concurrent tenants.  Responses come
+back as ``(status, payload)`` so callers can assert on error paths
+without exception plumbing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """Single keep-alive HTTP/1.1 connection speaking JSON."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> "ServeClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (OSError, asyncio.CancelledError):
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def __aenter__(self) -> "ServeClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[int, dict]:
+        """One round trip; reconnects transparently if the link dropped."""
+        if self._writer is None or self._writer.is_closing():
+            await self.connect()
+        payload = b"" if body is None else json.dumps(body).encode()
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "\r\n"
+        )
+        self._writer.write(head.encode() + payload)
+        await self._writer.drain()
+        status_line = await self._reader.readline()
+        parts = status_line.decode("latin-1").split(maxsplit=2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+            raise ConnectionError(f"malformed status line {status_line!r}")
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        body_bytes = await self._reader.readexactly(length) if length else b""
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        return status, json.loads(body_bytes) if body_bytes else {}
+
+    async def get(self, path: str) -> tuple[int, dict]:
+        return await self.request("GET", path)
+
+    async def post(self, path: str, body: dict) -> tuple[int, dict]:
+        return await self.request("POST", path, body)

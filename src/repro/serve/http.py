@@ -1,0 +1,187 @@
+"""Minimal asyncio HTTP/1.1 layer for the reordering service.
+
+Deliberately thin: the repo's dependency policy is stdlib + numpy/scipy,
+so instead of a web framework this module implements exactly the subset
+the service needs — request-line + header parsing, ``Content-Length``
+bodies, keep-alive connections, JSON in / JSON out — over
+``asyncio.start_server`` streams.
+
+Two deliberate design points:
+
+* :class:`Connection` owns its own read buffer (instead of leaning on
+  ``StreamReader.readuntil``) so the disconnect watcher can pull bytes
+  off the socket while a handler awaits a long computation *without
+  losing them*: anything that arrives early stays buffered for the next
+  request parse.
+* :meth:`Connection.wait_disconnect` is how the serving layer notices a
+  client abandoning an in-flight request — the coalescing scheduler uses
+  it to drop waiters (and cancel still-queued jobs) instead of computing
+  for nobody.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+__all__ = ["HttpError", "Request", "Connection", "encode_response"]
+
+#: Hard caps keeping one client from ballooning server memory.
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 256 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """Maps straight to an HTTP error response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class Request:
+    """One parsed HTTP request."""
+
+    __slots__ = ("method", "path", "query", "headers", "body")
+
+    def __init__(
+        self, method: str, target: str, headers: dict[str, str], body: bytes
+    ) -> None:
+        self.method = method
+        self.path, _, self.query = target.partition("?")
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> dict:
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body)
+        except json.JSONDecodeError as exc:
+            raise HttpError(400, f"invalid JSON body: {exc}") from None
+        if not isinstance(payload, dict):
+            raise HttpError(400, "JSON body must be an object")
+        return payload
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+
+def encode_response(
+    status: int, payload: dict | bytes, keep_alive: bool = True, default=None
+) -> bytes:
+    """Serialize one JSON (or raw) response with Content-Length framing."""
+    if isinstance(payload, bytes):
+        body = payload
+        ctype = "application/octet-stream"
+    else:
+        body = json.dumps(payload, default=default).encode()
+        ctype = "application/json"
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {ctype}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        "\r\n"
+    )
+    return head.encode() + body
+
+
+class Connection:
+    """Buffered reader/writer for one client connection."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self._buf = bytearray()
+        self._eof = False
+
+    async def _fill(self) -> bool:
+        """Pull more bytes into the buffer; False once the peer closed."""
+        if self._eof:
+            return False
+        data = await self.reader.read(65536)
+        if not data:
+            self._eof = True
+            return False
+        self._buf += data
+        return True
+
+    async def wait_disconnect(self) -> bool:
+        """Block until the peer closes (True) or sends bytes (False).
+
+        Early bytes stay in the buffer for the next request parse, so
+        watching for disconnect never corrupts the protocol stream.
+        """
+        if self._eof:
+            return True
+        return not await self._fill()
+
+    async def read_request(self, timeout: float | None = None) -> Request | None:
+        """Parse the next request; ``None`` on a cleanly closed connection."""
+        while b"\r\n\r\n" not in self._buf:
+            if len(self._buf) > MAX_HEADER_BYTES:
+                raise HttpError(400, "request headers too large")
+            try:
+                got = await asyncio.wait_for(self._fill(), timeout)
+            except asyncio.TimeoutError:
+                if self._buf:
+                    raise HttpError(408, "timed out mid-request") from None
+                return None  # idle keep-alive connection: just close
+            if not got:
+                if self._buf:
+                    raise HttpError(400, "connection closed mid-request")
+                return None
+        head, _, rest = bytes(self._buf).partition(b"\r\n\r\n")
+        self._buf = bytearray(rest)
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise HttpError(400, f"malformed request line {lines[0]!r}")
+        method, target, _ = parts
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            name, sep, value = line.partition(":")
+            if not sep:
+                raise HttpError(400, f"malformed header line {line!r}")
+            headers[name.strip().lower()] = value.strip()
+        length = headers.get("content-length", "0")
+        try:
+            body_len = int(length)
+        except ValueError:
+            raise HttpError(400, f"bad Content-Length {length!r}") from None
+        if body_len > MAX_BODY_BYTES:
+            raise HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+        while len(self._buf) < body_len:
+            if not await self._fill():
+                raise HttpError(400, "connection closed mid-body")
+        body = bytes(self._buf[:body_len])
+        del self._buf[:body_len]
+        return Request(method, target, headers, body)
+
+    async def send(self, data: bytes) -> None:
+        self.writer.write(data)
+        await self.writer.drain()
+
+    async def close(self) -> None:
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (OSError, asyncio.CancelledError):
+            pass

@@ -1,0 +1,215 @@
+"""Request coalescing + batching scheduler for the serving layer.
+
+The scheduler is the piece that turns N concurrent clients into at most
+one computation per artifact:
+
+* **Coalescing** — jobs are keyed by the *artifact address* their result
+  will be stored under (namespace + the store's content-addressed
+  filename).  A request whose key is already in flight attaches a waiter
+  to the existing ticket instead of enqueueing a duplicate; when the
+  computation lands, every waiter resolves from the single result.
+* **Batching with priorities** — admitted tickets sit in a bounded
+  priority queue (lower number = sooner; per-tenant defaults, optional
+  per-request override) and a dispatcher feeds them to the shared
+  :class:`~repro.pipeline.grid.StageExecutor` pool, at most one job per
+  pool worker in flight, so the queue — not the pool's internal FIFO —
+  decides execution order.
+* **Backpressure** — a full queue rejects at admission
+  (:class:`QueueFullError` → HTTP 503) instead of growing without bound.
+* **Cancellation** — a waiter whose client disconnects detaches; when
+  the *last* waiter of a still-queued ticket detaches, the ticket is
+  cancelled and never occupies a worker.  A ticket already running
+  finishes (its artifact lands in the store and warms the next request)
+  — the result is simply dropped.
+
+The scheduler is single-event-loop code: every method must be called
+from the loop thread, which is what makes the check-then-attach
+coalescing race-free without locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+
+from repro.observability.metrics import MetricsRegistry
+
+__all__ = ["QueueFullError", "JobTicket", "ServeScheduler"]
+
+
+class QueueFullError(Exception):
+    """Admission queue at capacity; the caller should shed the request."""
+
+
+class JobTicket:
+    """One admitted (or coalesced-onto) unit of in-flight computation."""
+
+    __slots__ = (
+        "key",
+        "job",
+        "priority",
+        "waiters",
+        "state",
+        "enqueued",
+        "started",
+        "compute_s",
+    )
+
+    def __init__(self, key: tuple, job: dict, priority: int) -> None:
+        self.key = key
+        self.job = job
+        self.priority = priority
+        self.waiters: list[asyncio.Future] = []
+        self.state = "queued"  # queued -> running -> done | cancelled
+        self.enqueued = time.monotonic()
+        self.started: float | None = None
+        self.compute_s: float | None = None
+
+    def queue_seconds(self) -> float:
+        return (self.started or time.monotonic()) - self.enqueued
+
+
+class ServeScheduler:
+    """Coalescing admission queue in front of a :class:`StageExecutor`."""
+
+    def __init__(
+        self,
+        executor,
+        runner,
+        max_queue: int = 256,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self._executor = executor
+        self._runner = runner  #: module-level worker fn: ``runner(job)``
+        self._inflight: dict[tuple, JobTicket] = {}
+        self._queue: asyncio.PriorityQueue = asyncio.PriorityQueue(maxsize=max_queue)
+        self._slots = asyncio.Semaphore(max(1, getattr(executor, "workers", 1)))
+        self._seq = itertools.count()
+        self.max_queue = max_queue
+        self.metrics = metrics or MetricsRegistry()
+        self._dispatcher: asyncio.Task | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        if self._dispatcher is None:
+            self._dispatcher = asyncio.get_running_loop().create_task(
+                self._dispatch_loop()
+            )
+
+    async def stop(self) -> None:
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        for ticket in list(self._inflight.values()):
+            for waiter in ticket.waiters:
+                if not waiter.done():
+                    waiter.cancel()
+        self._inflight.clear()
+
+    # -- admission -----------------------------------------------------------
+    def submit(self, key: tuple, job: dict, priority: int = 10):
+        """Admit (or coalesce) a job; returns ``(waiter, ticket, coalesced)``.
+
+        ``waiter`` is an :class:`asyncio.Future` resolving to the job's
+        payload.  Raises :class:`QueueFullError` when the job is new and
+        the admission queue is at capacity.
+        """
+        loop = asyncio.get_running_loop()
+        ticket = self._inflight.get(key)
+        if ticket is not None:
+            waiter = loop.create_future()
+            ticket.waiters.append(waiter)
+            self.metrics.inc("serve.coalesced")
+            return waiter, ticket, True
+        ticket = JobTicket(key, job, priority)
+        try:
+            self._queue.put_nowait((priority, next(self._seq), ticket))
+        except asyncio.QueueFull:
+            self.metrics.inc("serve.rejected")
+            raise QueueFullError(
+                f"admission queue full ({self.max_queue} queued)"
+            ) from None
+        self._inflight[key] = ticket
+        self.metrics.set_gauge("serve.queue_depth", self._queue.qsize())
+        waiter = loop.create_future()
+        ticket.waiters.append(waiter)
+        return waiter, ticket, False
+
+    def detach(self, ticket: JobTicket, waiter: asyncio.Future) -> None:
+        """Drop one waiter (client gone); cancel the ticket if unclaimed.
+
+        Cancellation only applies while the ticket is still queued — a
+        running computation is allowed to finish and warm the store.
+        """
+        if not waiter.done():
+            waiter.cancel()
+        try:
+            ticket.waiters.remove(waiter)
+        except ValueError:
+            return
+        if not ticket.waiters and ticket.state == "queued":
+            ticket.state = "cancelled"
+            self._inflight.pop(ticket.key, None)
+            self.metrics.inc("serve.cancelled")
+
+    # -- introspection -------------------------------------------------------
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    def stats(self) -> dict:
+        snap = self.metrics.snapshot()
+        snap["queue"] = {"depth": self._queue.qsize(), "max": self.max_queue}
+        snap["inflight"] = len(self._inflight)
+        return snap
+
+    # -- execution -----------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        while True:
+            _, _, ticket = await self._queue.get()
+            if ticket.state == "cancelled":
+                # Lazily skipped: detach() flagged it while it sat queued.
+                self._queue.task_done()
+                continue
+            await self._slots.acquire()
+            if ticket.state == "cancelled":
+                # Detached while we held it waiting for a worker slot —
+                # it left the queue but never stopped being cancellable.
+                self._slots.release()
+                self._queue.task_done()
+                continue
+            ticket.state = "running"
+            ticket.started = time.monotonic()
+            self.metrics.observe("serve.queue_s", ticket.started - ticket.enqueued)
+            asyncio.get_running_loop().create_task(self._run(ticket))
+
+    async def _run(self, ticket: JobTicket) -> None:
+        try:
+            self.metrics.inc("serve.executions")
+            future = self._executor.submit(self._runner, ticket.job)
+            try:
+                payload = await asyncio.wrap_future(future)
+            except Exception as exc:
+                self.metrics.inc("serve.execution_errors")
+                for waiter in ticket.waiters:
+                    if not waiter.done():
+                        waiter.set_exception(exc)
+            else:
+                ticket.compute_s = time.monotonic() - ticket.started
+                self.metrics.observe("serve.compute_s", ticket.compute_s)
+                for waiter in ticket.waiters:
+                    if not waiter.done():
+                        waiter.set_result(payload)
+        finally:
+            ticket.state = "done"
+            self._inflight.pop(ticket.key, None)
+            self.metrics.set_gauge("serve.queue_depth", self._queue.qsize())
+            self._slots.release()
+            self._queue.task_done()

@@ -6,18 +6,24 @@ built application traces and finished cell results, each a small
 content-addressed pickle.  Subcommands::
 
     repro-cache ls                  # every artifact, newest first
-    repro-cache stats               # per-kind totals + quarantine
+    repro-cache stats               # per-namespace/kind totals + quarantine
+    repro-cache stats --json        # same, machine-readable
     repro-cache gc --max-bytes 1G   # evict oldest-first to a budget
+    repro-cache gc --max-bytes 1G --namespace t1 --keep-kind mapping
     repro-cache clear               # remove everything
 
-All subcommands accept ``--dir`` to target a specific store directory;
-the default is ``$REPRO_CACHE_DIR`` or ``./.repro_cache`` — the same
-resolution the experiment runner uses.
+All subcommands accept ``--dir`` to target a specific store root; the
+default is ``$REPRO_CACHE_DIR`` or ``./.repro_cache`` — the same
+resolution the experiment runner uses.  Tenant namespaces (``ns/<t>/``
+subdirectories, populated by the serving layer) are reported by
+``stats``, listable via ``ls --namespace``, and garbage-collectable in
+isolation via ``gc --namespace``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -92,27 +98,56 @@ def _cmd_ls(store: ArtifactStore) -> int:
     return 0
 
 
-def _cmd_stats(store: ArtifactStore) -> int:
-    entries = store.ls()
-    by_kind: dict[str, list[int]] = {}
-    for info in entries:
-        by_kind.setdefault(info.kind, []).append(info.nbytes)
-    print(f"store:          {store.directory}")
-    print(f"schema version: {SCHEMA_VERSION}")
-    for kind in sorted(by_kind):
-        sizes = by_kind[kind]
-        print(f"  {kind:<10} {len(sizes):>6} artifacts  {_human(sum(sizes)):>10}")
+def _cmd_stats(store: ArtifactStore, as_json: bool = False) -> int:
+    usage = store.usage()
+    entries = store.ls_all()
     quarantined = len(_quarantined_files(store))
-    print(f"  quarantined {quarantined:>5} files")
-    print(f"  total      {len(entries):>6} artifacts  {_human(store.total_bytes()):>10}")
+    if as_json:
+        payload = {
+            "store": str(store.root),
+            "schema_version": SCHEMA_VERSION,
+            "namespaces": usage,
+            "artifacts": len(entries),
+            "total_bytes": sum(info.nbytes for info in entries),
+            "quarantined": quarantined,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"store:          {store.root}")
+    print(f"schema version: {SCHEMA_VERSION}")
+    for namespace in sorted(usage):
+        label = namespace or "(root)"
+        print(f"  namespace {label}")
+        for kind in sorted(usage[namespace]):
+            counts = usage[namespace][kind]
+            print(
+                f"    {kind:<10} {counts['artifacts']:>6} artifacts"
+                f"  {_human(counts['bytes']):>10}"
+            )
+    quarantine_line = f"  quarantined {quarantined:>5} files"
+    print(quarantine_line)
+    total = sum(info.nbytes for info in entries)
+    print(f"  total      {len(entries):>6} artifacts  {_human(total):>10}")
     return 0
 
 
-def _cmd_gc(store: ArtifactStore, max_bytes: int) -> int:
-    summary = store.gc(max_bytes)
+def _cmd_gc(
+    store: ArtifactStore,
+    max_bytes: int,
+    namespace: str | None = None,
+    keep_kinds: tuple[str, ...] = (),
+) -> int:
+    summary = store.gc(max_bytes, namespace=namespace, keep_kinds=keep_kinds)
+    scope = f" in namespace {namespace!r}" if namespace else ""
+    kept = (
+        f", kept {_human(summary['kept_bytes'])} ({'/'.join(keep_kinds)})"
+        if keep_kinds
+        else ""
+    )
     print(
-        f"removed {summary['removed']} files, freed {_human(summary['freed_bytes'])}, "
-        f"{_human(summary['remaining_bytes'])} remaining"
+        f"removed {summary['removed']} files{scope}, "
+        f"freed {_human(summary['freed_bytes'])}, "
+        f"{_human(summary['remaining_bytes'])} remaining{kept}"
     )
     return 0
 
@@ -134,8 +169,14 @@ def main(argv: list[str] | None = None) -> int:
         help="store directory (default: $REPRO_CACHE_DIR or ./.repro_cache)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("ls", help="list artifacts, newest first")
-    sub.add_parser("stats", help="per-kind artifact counts and sizes")
+    ls = sub.add_parser("ls", help="list artifacts, newest first")
+    ls.add_argument(
+        "--namespace", default=None, help="list one tenant namespace instead of root"
+    )
+    stats = sub.add_parser("stats", help="per-namespace/kind artifact counts and sizes")
+    stats.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
     gc = sub.add_parser("gc", help="evict artifacts, oldest first, to a byte budget")
     gc.add_argument(
         "--max-bytes",
@@ -143,17 +184,37 @@ def main(argv: list[str] | None = None) -> int:
         required=True,
         help="byte budget to shrink the store to (accepts K/M/G suffixes)",
     )
+    gc.add_argument(
+        "--namespace",
+        default=None,
+        help="confine eviction (and the budget) to one tenant namespace",
+    )
+    gc.add_argument(
+        "--keep-kind",
+        action="append",
+        default=[],
+        metavar="KIND",
+        help="artifact kind exempt from eviction (repeatable, e.g. mapping)",
+    )
     sub.add_parser("clear", help="remove every artifact")
     args = parser.parse_args(argv)
 
     store = ArtifactStore(args.dir or default_store_dir())
     try:
         if args.command == "ls":
-            return _cmd_ls(store)
+            view = (
+                store.namespaced(args.namespace) if args.namespace else store
+            )
+            return _cmd_ls(view)
         if args.command == "stats":
-            return _cmd_stats(store)
+            return _cmd_stats(store, as_json=args.json)
         if args.command == "gc":
-            return _cmd_gc(store, args.max_bytes)
+            return _cmd_gc(
+                store,
+                args.max_bytes,
+                namespace=args.namespace,
+                keep_kinds=tuple(args.keep_kind),
+            )
         return _cmd_clear(store)
     except BrokenPipeError:
         # Downstream pager/head closed early (`repro-cache ls | head`);

@@ -5,6 +5,7 @@ merged span/event stream (``events.jsonl``) and the provenance manifest
 (``manifest.json``) — see :mod:`repro.observability`.  Subcommands::
 
     repro-status summary [RUN]          # manifest overview (default: latest)
+    repro-status summary --json [RUN]   # same, machine-readable
     repro-status spans --top 10 [RUN]   # heaviest spans by wall time
     repro-status events --stage trace [RUN]   # filtered event dump
     repro-status diff RUN_A RUN_B       # stage timings + store counters delta
@@ -21,6 +22,7 @@ a crash — the whole point is diagnosing runs that did not finish.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -74,8 +76,22 @@ def _print_stage_table(stages: dict[str, dict]) -> None:
         )
 
 
-def _cmd_summary(run_dir: Path) -> int:
+def _cmd_summary(run_dir: Path, as_json: bool = False) -> int:
     manifest = runmod.load_manifest(run_dir)
+    if as_json:
+        stages = (
+            ((manifest.get("timings") or {}).get("stages") or {})
+            if manifest
+            else runmod.stage_totals(run_dir)
+        )
+        payload = {
+            "run_id": (manifest or {}).get("run_id", run_dir.name),
+            "partial": manifest is None,
+            "manifest": manifest,
+            "recompute_spans": _recompute_spans(stages),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True, default=repr))
+        return 0
     if manifest is None:
         # Partial run: fall back to whatever the event stream holds.
         print(f"run: {run_dir.name}  [partial: no manifest]")
@@ -239,6 +255,9 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
     p_summary = sub.add_parser("summary", help="manifest overview of one run")
     p_summary.add_argument("run", nargs="?", default=None)
+    p_summary.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
     p_spans = sub.add_parser("spans", help="heaviest spans by wall time")
     p_spans.add_argument("run", nargs="?", default=None)
     p_spans.add_argument("--top", type=int, default=10)
@@ -262,7 +281,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: no run {wanted} under {root}", file=sys.stderr)
             return 2
         if args.command == "summary":
-            return _cmd_summary(run_dir)
+            return _cmd_summary(run_dir, as_json=args.json)
         if args.command == "spans":
             return _cmd_spans(run_dir, args.top, args.stage)
         return _cmd_events(run_dir, args.stage, args.kind)

@@ -67,6 +67,25 @@ class TestSummary:
         assert "[partial: no manifest]" in out
         assert "(no stage spans recorded)" in out
 
+    def test_summary_json_output(self, runs, capsys):
+        make_run(runs, "rj", stage_seconds=("trace", "simulate"))
+        assert main(["--runs-dir", str(runs), "summary", "--json", "rj"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["run_id"] == "rj"
+        assert payload["partial"] is False
+        assert payload["recompute_spans"] == 2
+        assert payload["manifest"]["status"] == "ok"
+        stages = payload["manifest"]["timings"]["stages"]
+        assert set(stages) >= {"trace", "simulate"}
+
+    def test_summary_json_partial_run(self, runs, capsys):
+        make_run(runs, "rjp", stage_seconds=("trace",), manifest=False)
+        assert main(["--runs-dir", str(runs), "summary", "--json", "rjp"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["partial"] is True
+        assert payload["manifest"] is None
+        assert payload["recompute_spans"] == 1
+
     def test_unknown_run_is_an_error(self, runs, capsys):
         runs.mkdir(parents=True)
         assert main(["--runs-dir", str(runs), "summary", "nope"]) == 2

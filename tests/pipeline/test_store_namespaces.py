@@ -1,0 +1,181 @@
+"""Tenant-namespace behavior of the artifact store.
+
+Covers the serving layer's storage contract: namespaced views are
+isolated on disk but share accounting, gc can be confined to one tenant
+(and exempt whole kinds), and ``usage()`` reports per-namespace bytes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.pipeline.store import NAMESPACE_DIR, ArtifactStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+class TestNamespacedViews:
+    def test_views_isolate_identical_keys(self, store):
+        a = store.namespaced("acme")
+        b = store.namespaced("bigco")
+        store.put("mapping", ("g", "DBG"), [0, 1])
+        a.put("mapping", ("g", "DBG"), [1, 0])
+        b.put("mapping", ("g", "DBG"), [2, 2])
+        assert store.get("mapping", ("g", "DBG")) == [0, 1]
+        assert a.get("mapping", ("g", "DBG")) == [1, 0]
+        assert b.get("mapping", ("g", "DBG")) == [2, 2]
+        # Same key, same content address -- different directories.
+        assert a.path_for("mapping", ("g", "DBG")).parent.name == "acme"
+        assert (
+            a.path_for("mapping", ("g", "DBG")).name
+            == store.path_for("mapping", ("g", "DBG")).name
+        )
+
+    def test_views_share_stats(self, store):
+        view = store.namespaced("acme")
+        view.put("mapping", "k", [1])
+        view.get("mapping", "k")
+        store.get("mapping", "other")  # root miss
+        stats = store.stats.as_dict()["mapping"]
+        assert stats["stores"] == 1
+        assert stats["hits"] == 1
+        assert stats["misses"] >= 1
+
+    def test_rejects_bad_namespace_tokens(self, store):
+        for bad in ("", "UPPER", "has space", "../escape", ".hidden", "a/b"):
+            with pytest.raises(ValueError):
+                store.namespaced(bad)
+
+    def test_namespaces_listed(self, store):
+        assert store.namespaces() == []
+        store.namespaced("zeta").put("upload", "g1", b"x")
+        store.namespaced("alpha").put("upload", "g2", b"y")
+        assert store.namespaces() == ["alpha", "zeta"]
+
+    def test_ls_all_and_usage_cover_every_namespace(self, store):
+        store.put("mapping", "root-key", list(range(10)))
+        store.namespaced("acme").put("upload", "g", b"z" * 100)
+        infos = store.ls_all()
+        assert {info.namespace for info in infos} == {None, "acme"}
+        usage = store.usage()
+        assert usage[""]["mapping"]["artifacts"] == 1
+        assert usage["acme"]["upload"]["artifacts"] == 1
+        assert usage["acme"]["upload"]["bytes"] > 100
+
+
+class TestNamespacedGc:
+    def _fill(self, store):
+        """Root + two tenants, with controlled mtimes (oldest first)."""
+        now = time.time()
+        views = [store, store.namespaced("acme"), store.namespaced("bigco")]
+        for i, view in enumerate(views):
+            for j in range(3):
+                path = view.put("mapping", f"k{j}", list(range(200)))
+                age = now - 1000 + (i * 3 + j) * 10
+                os.utime(path, (age, age))
+        return views
+
+    def test_gc_confined_to_namespace(self, store):
+        _, acme, bigco = self._fill(store)
+        before_root = len(store.ls())
+        before_bigco = len(bigco.ls())
+        summary = store.gc(0, namespace="acme")
+        assert summary["removed"] == 3
+        assert len(acme.ls()) == 0
+        # Other tenants and the shared root are untouched.
+        assert len(store.ls()) == before_root
+        assert len(bigco.ls()) == before_bigco
+
+    def test_gc_on_namespaced_view_defaults_to_its_namespace(self, store):
+        _, acme, _ = self._fill(store)
+        acme.gc(0)
+        assert len(acme.ls()) == 0
+        assert len(store.ls()) == 3
+
+    def test_root_gc_spans_all_namespaces_oldest_first(self, store):
+        self._fill(store)
+        total = sum(info.nbytes for info in store.ls_all())
+        one = store.ls_all()[0].nbytes
+        summary = store.gc(total - one)  # evict exactly the oldest artifact
+        assert summary["removed"] == 1
+        # Root artifacts were aged oldest in _fill, so root lost one.
+        assert len(store.ls()) == 2
+
+    def test_gc_prunes_emptied_namespace_dirs(self, store):
+        store.namespaced("acme").put("upload", "g", b"x")
+        store.gc(0, namespace="acme")
+        assert not (store.root / NAMESPACE_DIR / "acme").exists()
+
+    def test_keep_kinds_survive_eviction(self, store):
+        store.put("mapping", "keepme", list(range(100)))
+        store.put("trace", "evictme", b"t" * 5000)
+        summary = store.gc(0, keep_kinds=("mapping",))
+        kinds = {info.kind for info in store.ls()}
+        assert kinds == {"mapping"}
+        assert summary["kept_bytes"] > 0
+        assert summary["remaining_bytes"] == summary["kept_bytes"]
+
+    def test_keep_kinds_still_count_against_budget(self, store):
+        store.put("mapping", "big", list(range(5000)))
+        store.put("trace", "small", b"t" * 10)
+        mapping_bytes = next(
+            info.nbytes for info in store.ls() if info.kind == "mapping"
+        )
+        # Budget below the kept kind's own footprint: everything evictable
+        # goes, the kept artifact stays, and the summary is honest about
+        # the store still being over budget.
+        summary = store.gc(mapping_bytes - 1, keep_kinds=("mapping",))
+        assert {info.kind for info in store.ls()} == {"mapping"}
+        assert summary["remaining_bytes"] >= mapping_bytes
+
+
+class TestCliNamespaceSurface:
+    def test_stats_json_reports_namespaces(self, store, capsys):
+        from repro.tools.cache_tool import main
+
+        store.put("mapping", "k", [1, 2, 3])
+        store.namespaced("acme").put("upload", "g", b"data")
+        assert main(["--dir", str(store.root), "stats", "--json"]) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["namespaces"][""]["mapping"]["artifacts"] == 1
+        assert payload["namespaces"]["acme"]["upload"]["artifacts"] == 1
+        assert payload["artifacts"] == 2
+        assert payload["quarantined"] == 0
+
+    def test_gc_namespace_and_keep_kind_flags(self, store, capsys):
+        from repro.tools.cache_tool import main
+
+        acme = store.namespaced("acme")
+        acme.put("mapping", "keep", [1])
+        acme.put("trace", "evict", b"t" * 1000)
+        store.put("trace", "root-stays", b"r" * 1000)
+        assert (
+            main(
+                [
+                    "--dir", str(store.root),
+                    "gc", "--max-bytes", "0",
+                    "--namespace", "acme",
+                    "--keep-kind", "mapping",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "namespace 'acme'" in out
+        assert {info.kind for info in acme.ls()} == {"mapping"}
+        assert len(store.ls()) == 1  # root untouched
+
+    def test_ls_namespace_flag(self, store, capsys):
+        from repro.tools.cache_tool import main
+
+        store.namespaced("acme").put("upload", "g", b"x")
+        assert main(["--dir", str(store.root), "ls", "--namespace", "acme"]) == 0
+        assert "upload" in capsys.readouterr().out

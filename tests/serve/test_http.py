@@ -1,0 +1,323 @@
+"""End-to-end tests: real service, real TCP, real worker processes.
+
+Each test boots a :class:`ReorderService` on an ephemeral localhost port
+inside its own event loop (worker pool and all), exercises the JSON API
+through :class:`ServeClient`, and asserts on the *service-side* counters
+— the same metrics the acceptance gate reads — so "exactly one
+execution" is checked from the scheduler's books, not inferred from
+response text.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.pipeline.cells import ExperimentConfig
+from repro.pipeline.store import ArtifactStore
+from repro.serve.client import ServeClient
+from repro.serve.server import ReorderService
+
+SCALE = 0.05  # tiny graphs: whole-service tests in seconds, not minutes
+
+
+def boot(tmp_path, **kwargs):
+    kwargs.setdefault("workers", 2)
+    return ReorderService(
+        config=ExperimentConfig(scale=SCALE, num_roots=1),
+        store=ArtifactStore(tmp_path / "store"),
+        **kwargs,
+    )
+
+
+def counters(service) -> dict:
+    return service.metrics.snapshot()["counters"]
+
+
+def test_end_to_end_request_cycle(tmp_path):
+    async def scenario():
+        service = boot(tmp_path)
+        await service.start()
+        try:
+            async with ServeClient(service.host, service.port) as client:
+                status, body = await client.get("/healthz")
+                assert (status, body) == (200, {"status": "ok"})
+
+                # Cold: computed on the pool, artifact lands in the store.
+                status, body = await client.post(
+                    "/v1/reorder", {"graph": "uni", "technique": "DBG"}
+                )
+                assert status == 200
+                assert body["meta"]["source"] == "cold"
+                assert body["result"]["num_vertices"] > 0
+                cold_sha = body["result"]["mapping_sha256"]
+                artifact = body["meta"]["artifact"]
+
+                # Warm: identical request never touches the pool.
+                execs_before = counters(service)["serve.executions"]
+                status, body = await client.post(
+                    "/v1/reorder", {"graph": "uni", "technique": "DBG"}
+                )
+                assert status == 200
+                assert body["meta"]["source"] == "warm"
+                assert body["meta"]["artifact"] == artifact
+                assert body["result"]["mapping_sha256"] == cold_sha
+                assert counters(service)["serve.executions"] == execs_before
+
+                # Analyze: full cell result with cache counters.
+                status, body = await client.post(
+                    "/v1/analyze",
+                    {"graph": "uni", "technique": "DBG", "app": "PR"},
+                )
+                assert status == 200
+                assert body["result"]["app"] == "PR"
+                assert body["result"]["mpki"]["l1"] > 0
+
+                # A config override must produce a different artifact.
+                status, override = await client.post(
+                    "/v1/analyze",
+                    {
+                        "graph": "uni",
+                        "technique": "DBG",
+                        "app": "PR",
+                        "config": {"l2_bytes": 131072},
+                    },
+                )
+                assert status == 200
+                assert override["meta"]["source"] == "cold"
+                assert override["meta"]["artifact"] != body["meta"]["artifact"]
+
+                status, stats = await client.get("/v1/stats?usage=1")
+                assert status == 200
+                assert stats["counters"]["serve.requests"] == 4
+                assert "mapping" in stats["usage"][""]
+        finally:
+            await service.stop()
+
+    asyncio.run(scenario())
+
+
+def test_upload_namespace_isolation_and_mapping_payload(tmp_path):
+    async def scenario():
+        service = boot(tmp_path)
+        await service.start()
+        try:
+            async with ServeClient(service.host, service.port) as client:
+                edges = [[0, 1], [1, 2], [2, 3], [3, 4], [4, 0], [0, 2]]
+                status, upload = await client.post(
+                    "/v1/graphs",
+                    {
+                        "tenant": "acme",
+                        "num_vertices": 5,
+                        "edges": edges,
+                        "symmetrize": True,
+                    },
+                )
+                assert status == 200
+                graph_key = upload["graph_key"]
+                assert graph_key.startswith("upload:")
+                assert upload["namespace"] == "acme"
+
+                # Identical payload re-uploads to the identical key.
+                status, again = await client.post(
+                    "/v1/graphs",
+                    {
+                        "tenant": "acme",
+                        "num_vertices": 5,
+                        "edges": edges,
+                        "symmetrize": True,
+                    },
+                )
+                assert again["graph_key"] == graph_key
+
+                status, body = await client.post(
+                    "/v1/reorder",
+                    {
+                        "tenant": "acme",
+                        "graph": graph_key,
+                        "technique": "HubSort",
+                        "include_mapping": True,
+                    },
+                )
+                assert status == 200
+                assert body["meta"]["namespace"] == "acme"
+                mapping = body["result"]["mapping"]
+                assert sorted(mapping) == list(range(5))
+
+                # The derived artifacts live under the tenant's namespace.
+                usage = service.store.usage()
+                assert "upload" in usage["acme"]
+                assert "mapping" in usage["acme"]
+                assert "mapping" not in usage.get("", {})
+
+                # Another tenant cannot see acme's graph.
+                status, body = await client.post(
+                    "/v1/reorder",
+                    {"tenant": "rival", "graph": graph_key, "technique": "DBG"},
+                )
+                assert status == 404
+        finally:
+            await service.stop()
+
+    asyncio.run(scenario())
+
+
+def test_error_paths(tmp_path):
+    async def scenario():
+        service = boot(tmp_path, workers=1)
+        await service.start()
+        try:
+            async with ServeClient(service.host, service.port) as client:
+                checks = [
+                    ("POST", "/v1/reorder", {"graph": "uni"}, 400),
+                    ("POST", "/v1/reorder",
+                     {"graph": "uni", "technique": "Nope"}, 400),
+                    ("POST", "/v1/reorder",
+                     {"graph": "uni", "technique": "Original"}, 400),
+                    ("POST", "/v1/reorder",
+                     {"graph": "upload:feedface", "technique": "DBG"}, 404),
+                    ("POST", "/v1/reorder",
+                     {"graph": "nosuch", "technique": "DBG"}, 400),
+                    ("POST", "/v1/analyze",
+                     {"graph": "uni", "technique": "DBG"}, 400),
+                    ("POST", "/v1/analyze",
+                     {"graph": "uni", "technique": "DBG", "app": "PR",
+                      "config": {"bogus": 1}}, 400),
+                    ("POST", "/v1/reorder",
+                     {"graph": "uni", "technique": "DBG", "tenant": "NO WAY"},
+                     400),
+                    ("GET", "/v1/nope", None, 404),
+                    ("GET", "/v1/reorder", None, 405),
+                ]
+                for method, path, body, expected in checks:
+                    status, payload = await client.request(method, path, body)
+                    assert status == expected, (method, path, payload)
+                    assert "error" in payload
+
+                # Malformed JSON body -> 400 without killing the connection.
+                client._writer.write(
+                    b"POST /v1/reorder HTTP/1.1\r\n"
+                    b"Content-Length: 9\r\n\r\nnot json!"
+                )
+                await client._writer.drain()
+                line = await client._reader.readline()
+                assert b"400" in line
+        finally:
+            await service.stop()
+
+    asyncio.run(scenario())
+
+
+def test_concurrent_identical_requests_coalesce_to_one_execution(tmp_path):
+    async def scenario():
+        service = boot(tmp_path, workers=2)
+        await service.start()
+        clients = []
+        try:
+            clients = [
+                await ServeClient(service.host, service.port).connect()
+                for _ in range(8)
+            ]
+            request = {"graph": "uni", "technique": "HubCluster"}
+            outcomes = await asyncio.gather(
+                *(client.post("/v1/reorder", request) for client in clients)
+            )
+            shas = {body["result"]["mapping_sha256"] for _, body in outcomes}
+            assert shas and len(shas) == 1
+            sources = sorted(body["meta"]["source"] for _, body in outcomes)
+            assert sources.count("cold") == 1
+            assert sources.count("coalesced") == 7
+            snap = counters(service)
+            assert snap["serve.executions"] == 1
+            assert snap["serve.coalesced"] == 7
+            # The store agrees: the artifact was stored exactly once.
+            assert service.store.stats.as_dict()["mapping"]["stores"] == 1
+        finally:
+            for client in clients:
+                await client.close()
+            await service.stop()
+
+    asyncio.run(scenario())
+
+
+def test_winning_clients_disconnect_leaves_survivor_with_result(tmp_path):
+    async def scenario():
+        # Community at a larger scale runs ~300ms: a wide-open window to
+        # coalesce a second client and then kill the first mid-compute.
+        service = boot(tmp_path, workers=1)
+        await service.start()
+        loser = ServeClient(service.host, service.port)
+        survivor = ServeClient(service.host, service.port)
+        try:
+            await loser.connect()
+            await survivor.connect()
+            request = {
+                "graph": "uni",
+                "technique": "Community",
+                "config": {"scale": 0.5},
+            }
+            losing = asyncio.create_task(loser.post("/v1/reorder", request))
+            await asyncio.sleep(0.05)  # let it win admission and start
+            surviving = asyncio.create_task(survivor.post("/v1/reorder", request))
+            await asyncio.sleep(0.05)  # let it coalesce onto the ticket
+            assert counters(service)["serve.coalesced"] == 1
+            losing.cancel()
+            await loser.close()
+            status, body = await surviving
+            assert status == 200
+            assert body["meta"]["source"] == "coalesced"
+            assert body["result"]["num_vertices"] > 0
+            assert counters(service)["serve.executions"] == 1
+        finally:
+            await loser.close()
+            await survivor.close()
+            await service.stop()
+
+    asyncio.run(scenario())
+
+
+def test_disconnect_of_sole_queued_waiter_cancels_job(tmp_path):
+    async def scenario():
+        service = boot(tmp_path, workers=1)
+        await service.start()
+        blocker = ServeClient(service.host, service.port)
+        quitter = ServeClient(service.host, service.port)
+        try:
+            await blocker.connect()
+            await quitter.connect()
+            # One worker: the slow job occupies it, the next job queues.
+            blocking = asyncio.create_task(
+                blocker.post(
+                    "/v1/reorder",
+                    {
+                        "graph": "uni",
+                        "technique": "Community",
+                        "config": {"scale": 0.5},
+                    },
+                )
+            )
+            await asyncio.sleep(0.05)
+            doomed = asyncio.create_task(
+                quitter.post("/v1/reorder", {"graph": "pl", "technique": "DBG"})
+            )
+            await asyncio.sleep(0.05)
+            doomed.cancel()
+            await quitter.close()
+            status, _ = await blocking
+            assert status == 200
+            # Give the dispatcher a moment to (lazily) skip the corpse.
+            for _ in range(100):
+                if counters(service).get("serve.cancelled"):
+                    break
+                await asyncio.sleep(0.01)
+            snap = counters(service)
+            assert snap["serve.cancelled"] == 1
+            assert snap["serve.executions"] == 1  # the doomed job never ran
+            keyer = service._keyer(None, None)
+            key = keyer.mapping_store_key("pl", "DBG", "out")
+            assert keyer.store.get("mapping", key) is None
+        finally:
+            await blocker.close()
+            await quitter.close()
+            await service.stop()
+
+    asyncio.run(scenario())

@@ -1,0 +1,208 @@
+"""Unit tests for the coalescing/priority admission scheduler.
+
+Driven against a stub executor whose futures the tests resolve by hand,
+so every race (coalesce-vs-complete, detach-while-queued,
+detach-while-running) is exercised deterministically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+
+import pytest
+
+from repro.serve.scheduler import QueueFullError, ServeScheduler
+
+
+class StubExecutor:
+    """Records submissions; the test resolves the returned futures."""
+
+    def __init__(self, workers: int = 2) -> None:
+        self.workers = workers
+        self.submitted: list[tuple[dict, concurrent.futures.Future]] = []
+
+    def submit(self, fn, job):
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        self.submitted.append((job, future))
+        return future
+
+
+async def _drain(steps: int = 10) -> None:
+    """Give the dispatcher loop a few scheduling rounds."""
+    for _ in range(steps):
+        await asyncio.sleep(0)
+
+
+async def _settle(predicate, timeout: float = 2.0) -> None:
+    """Await a condition the dispatcher reaches asynchronously."""
+    deadline = asyncio.get_running_loop().time() + timeout
+    while not predicate():
+        if asyncio.get_running_loop().time() > deadline:
+            raise AssertionError("scheduler never reached expected state")
+        await asyncio.sleep(0.001)
+
+
+def test_identical_keys_coalesce_onto_one_execution():
+    async def scenario():
+        pool = StubExecutor(workers=2)
+        sched = ServeScheduler(pool, runner=lambda job: job)
+        sched.start()
+        try:
+            waiters = []
+            for i in range(5):
+                waiter, ticket, coalesced = sched.submit(
+                    ("", "mapping-abc.pkl"), {"n": 0}
+                )
+                waiters.append(waiter)
+                assert coalesced == (i > 0)
+            await _settle(lambda: len(pool.submitted) == 1)
+            pool.submitted[0][1].set_result({"answer": 42})
+            results = await asyncio.gather(*waiters)
+            assert results == [{"answer": 42}] * 5
+            counters = sched.metrics.snapshot()["counters"]
+            assert counters["serve.coalesced"] == 4
+            assert counters["serve.executions"] == 1
+            assert sched.inflight() == 0
+        finally:
+            await sched.stop()
+
+    asyncio.run(scenario())
+
+
+def test_distinct_keys_execute_independently():
+    async def scenario():
+        pool = StubExecutor(workers=4)
+        sched = ServeScheduler(pool, runner=lambda job: job)
+        sched.start()
+        try:
+            wa, _, _ = sched.submit(("", "a.pkl"), {"k": "a"})
+            wb, _, _ = sched.submit(("t1", "a.pkl"), {"k": "b"})  # ns differs
+            await _settle(lambda: len(pool.submitted) == 2)
+            for job, future in pool.submitted:
+                future.set_result(job["k"])
+            assert await asyncio.gather(wa, wb) == ["a", "b"]
+        finally:
+            await sched.stop()
+
+    asyncio.run(scenario())
+
+
+def test_full_queue_rejects_at_admission():
+    async def scenario():
+        pool = StubExecutor(workers=1)
+        sched = ServeScheduler(pool, runner=lambda job: job, max_queue=1)
+        # Dispatcher deliberately not started: the queue cannot drain.
+        sched.submit(("", "a.pkl"), {})
+        with pytest.raises(QueueFullError):
+            sched.submit(("", "b.pkl"), {})
+        # Coalescing onto the queued ticket still works at capacity.
+        _, _, coalesced = sched.submit(("", "a.pkl"), {})
+        assert coalesced
+        counters = sched.metrics.snapshot()["counters"]
+        assert counters["serve.rejected"] == 1
+
+    asyncio.run(scenario())
+
+
+def test_priority_orders_dispatch_under_one_slot():
+    async def scenario():
+        pool = StubExecutor(workers=1)
+        sched = ServeScheduler(pool, runner=lambda job: job)
+        sched.start()
+        try:
+            blocker, _, _ = sched.submit(("", "blocker.pkl"), {"k": "blk"}, priority=0)
+            await _settle(lambda: len(pool.submitted) == 1)
+            lo, _, _ = sched.submit(("", "lo.pkl"), {"k": "lo"}, priority=30)
+            hi, _, _ = sched.submit(("", "hi.pkl"), {"k": "hi"}, priority=1)
+            mid, _, _ = sched.submit(("", "mid.pkl"), {"k": "mid"}, priority=10)
+            await _drain()
+            assert len(pool.submitted) == 1  # one slot: the rest sit queued
+            # Free the slot one job at a time; dispatch must follow
+            # priority order, not submission order.
+            for position, expected in enumerate(["blk", "hi", "mid", "lo"]):
+                job, future = pool.submitted[position]
+                assert job["k"] == expected
+                future.set_result(expected)
+                if position < 3:
+                    await _settle(
+                        lambda n=position: len(pool.submitted) == n + 2
+                    )
+            assert await asyncio.gather(blocker, hi, mid, lo) == [
+                "blk", "hi", "mid", "lo",
+            ]
+        finally:
+            await sched.stop()
+
+    asyncio.run(scenario())
+
+
+def test_last_waiter_detach_cancels_queued_ticket():
+    async def scenario():
+        pool = StubExecutor(workers=1)
+        sched = ServeScheduler(pool, runner=lambda job: job)
+        sched.start()
+        try:
+            blocker, _, _ = sched.submit(("", "blocker.pkl"), {"k": "blk"})
+            await _settle(lambda: len(pool.submitted) == 1)
+            doomed, ticket, _ = sched.submit(("", "doomed.pkl"), {"k": "doom"})
+            sched.detach(ticket, doomed)
+            assert ticket.state == "cancelled"
+            assert doomed.cancelled()
+            assert sched.inflight() == 1  # only the blocker remains keyed
+            pool.submitted[0][1].set_result("blk")
+            assert await blocker == "blk"
+            await _drain()
+            # The cancelled ticket was lazily skipped: never submitted.
+            assert len(pool.submitted) == 1
+            counters = sched.metrics.snapshot()["counters"]
+            assert counters["serve.cancelled"] == 1
+            assert counters["serve.executions"] == 1
+        finally:
+            await sched.stop()
+
+    asyncio.run(scenario())
+
+
+def test_detach_with_surviving_waiter_keeps_job():
+    async def scenario():
+        pool = StubExecutor(workers=1)
+        sched = ServeScheduler(pool, runner=lambda job: job)
+        sched.start()
+        try:
+            first, ticket, _ = sched.submit(("", "shared.pkl"), {"k": "s"})
+            second, _, coalesced = sched.submit(("", "shared.pkl"), {"k": "s"})
+            assert coalesced
+            await _settle(lambda: len(pool.submitted) == 1)
+            # The winning request's client disconnects mid-flight.
+            sched.detach(ticket, first)
+            assert first.cancelled()
+            assert ticket.state == "running"  # not cancelled: second waits
+            pool.submitted[0][1].set_result("landed")
+            assert await second == "landed"
+        finally:
+            await sched.stop()
+
+    asyncio.run(scenario())
+
+
+def test_worker_failure_propagates_to_every_waiter():
+    async def scenario():
+        pool = StubExecutor(workers=1)
+        sched = ServeScheduler(pool, runner=lambda job: job)
+        sched.start()
+        try:
+            wa, _, _ = sched.submit(("", "boom.pkl"), {})
+            wb, _, _ = sched.submit(("", "boom.pkl"), {})
+            await _settle(lambda: len(pool.submitted) == 1)
+            pool.submitted[0][1].set_exception(ValueError("kaput"))
+            for waiter in (wa, wb):
+                with pytest.raises(ValueError, match="kaput"):
+                    await waiter
+            counters = sched.metrics.snapshot()["counters"]
+            assert counters["serve.execution_errors"] == 1
+            assert sched.inflight() == 0
+        finally:
+            await sched.stop()
+
+    asyncio.run(scenario())
