@@ -199,7 +199,7 @@ def cache_scale_sweep(
 
 def replacement_policy_sweep(
     base_runner: ExperimentRunner | None = None,
-    policies: tuple[str, ...] = ("lru", "fifo", "lip"),
+    policies: tuple[str, ...] | None = None,
     app: str = "PR",
     datasets: tuple[str, ...] = ("sd", "fr", "kr"),
 ) -> dict:
@@ -207,10 +207,16 @@ def replacement_policy_sweep(
 
     The paper's related work points at hardware cache-management schemes as
     orthogonal to reordering; this sweep checks the claim's premise — that
-    the reordering benefit is not an artifact of LRU specifically.
+    the reordering benefit is not an artifact of LRU specifically.  The
+    default policy set is every policy in the replacement-policy
+    registry, so newly registered policies join the sweep automatically.
     """
     import dataclasses
 
+    from repro.cachesim.policies import policy_names
+
+    if policies is None:
+        policies = tuple(policy_names())
     base_runner = base_runner or ExperimentRunner()
     base_config = base_runner.config
     rows = []

@@ -10,6 +10,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import os
 import sys
 
@@ -90,6 +91,12 @@ def main(argv: list[str] | None = None) -> int:
         "artifact store before the (serial) tables/figures replay it",
     )
     parser.add_argument(
+        "--policy", type=str, default=None,
+        help="cache replacement policy for every simulated hierarchy "
+        f"level ({', '.join(engines.sim_policies())}; default: the "
+        "hierarchy's configured policy, lru)",
+    )
+    parser.add_argument(
         "--engine", choices=engines.ENGINE_CHOICES, default=None,
         help="cache-simulation engine (default: auto — compiled kernel "
         "when available, else the pure-Python reference loop)",
@@ -137,6 +144,17 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"unknown experiments: {unknown}")
 
     config = ExperimentConfig(scale=args.scale, num_roots=args.roots)
+    if args.policy:
+        try:
+            engines.validate_policy(args.policy, context="--policy")
+        except ValueError as exc:
+            parser.error(str(exc))
+        config = dataclasses.replace(
+            config,
+            hierarchy=dataclasses.replace(
+                config.hierarchy, replacement=args.policy
+            ),
+        )
     runner = ExperimentRunner(config)
     run = None
     if args.run_dir or os.environ.get(observability.run.RUNS_DIR_ENV):

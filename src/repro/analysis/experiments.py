@@ -110,6 +110,7 @@ class ExperimentRunner:
         techniques: list[str],
         workers: int | None = None,
         share_graphs: bool = True,
+        policies: list[str] | None = None,
     ) -> list[CellResult]:
         """All cells of the (apps x datasets x techniques) cross-product.
 
@@ -118,10 +119,18 @@ class ExperimentRunner:
         serially.  ``workers > 1`` fans the work out at *stage*
         granularity over a process pool — see
         :func:`repro.pipeline.grid.run_grid` for the phase plan and the
-        shared-memory graph transport.
+        shared-memory graph transport.  ``policies`` adds a
+        replacement-policy axis (policy-outermost result order); stage
+        artifacts are shared across policies.
         """
         return _grid.run_grid(
-            self.pipeline, apps, datasets, techniques, workers, share_graphs
+            self.pipeline,
+            apps,
+            datasets,
+            techniques,
+            workers,
+            share_graphs,
+            policies=policies,
         )
 
     # -- derived metrics -----------------------------------------------------

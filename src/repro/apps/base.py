@@ -171,6 +171,33 @@ class GraphApp:
             detail={"direction": step.direction, "edges": edges, "active": active_count},
         )
 
+    def hot_property_blocks(self, graph: Graph, threshold: float | None = None) -> np.ndarray:
+        """Cache blocks of the irregular property holding *hot* vertices.
+
+        This is the static classification skew-aware replacement policies
+        (``grasp``) consume: the same above-average-degree cut the
+        skew-aware reordering techniques use
+        (:func:`repro.graph.properties.hot_mask`, evaluated with this
+        app's ``reorder_degree_kind``), projected onto the block IDs of
+        the irregular property region.  Call it on the *relabelled*
+        graph — block IDs are positions in the simulated address space,
+        which the permutation changes.
+
+        The address-space reconstruction mirrors :meth:`trace` exactly
+        (vertex, edge, then property region, in that order); the regions
+        allocated after the property region cannot shift its base.
+        """
+        from repro.graph.properties import hot_mask
+
+        space = AddressSpace()
+        space.region("vertex", graph.num_vertices + 1, VERTEX_ENTRY_BYTES)
+        space.region("edge", graph.num_edges, EDGE_ENTRY_BYTES)
+        prop_region = space.region(
+            "property", graph.num_vertices, self.irregular_property_bytes
+        )
+        hot = hot_mask(graph, kind=self.reorder_degree_kind, threshold=threshold)
+        return np.unique(prop_region.block_of(np.flatnonzero(hot)))
+
     def trace_streaming(
         self,
         graph: Graph,

@@ -13,6 +13,14 @@ the same caching regime as on real hardware.
 """
 
 from repro.cachesim.cache import SetAssociativeCache
+from repro.cachesim.policies import (
+    ReplacementPolicy,
+    UnknownPolicyError,
+    POLICIES,
+    register_policy,
+    get_policy,
+    policy_names,
+)
 from repro.cachesim.hierarchy import (
     CacheGeometry,
     HierarchyConfig,
@@ -32,6 +40,12 @@ from repro.cachesim.fast import (
 
 __all__ = [
     "SetAssociativeCache",
+    "ReplacementPolicy",
+    "UnknownPolicyError",
+    "POLICIES",
+    "register_policy",
+    "get_policy",
+    "policy_names",
     "CacheGeometry",
     "HierarchyConfig",
     "CacheStats",

@@ -2,17 +2,27 @@
  *
  * An exact port of the pure-Python reference loop in
  * repro/cachesim/hierarchy.py (simulate_trace_reference): a three-level
- * set-associative hierarchy with lru/fifo/lip replacement plus the
- * last-writer snoop directory (an ordered dict with capacity eviction).
- * Counter-for-counter equivalence with the reference is enforced by
- * tests/cachesim/test_fast_engine.py and benchmarks/test_engine_equivalence.py;
- * any behavioural change here must keep that property (or change both
- * implementations together).
+ * set-associative hierarchy with registry-dispatched replacement plus
+ * the last-writer snoop directory (an ordered dict with capacity
+ * eviction).  Counter-for-counter equivalence with the reference is
+ * enforced by tests/cachesim/test_fast_engine.py,
+ * tests/engines/test_differential.py and
+ * benchmarks/test_engine_equivalence.py; any behavioural change here
+ * must keep that property (or change both implementations together).
+ *
+ * Replacement policies mirror repro/cachesim/policies.py row for row:
+ * POLICY_TABLE is indexed by the registry's integer code and carries
+ * the per-class (hot/cold) promotion + insert-position flags and the
+ * hot-line eviction-protection flag.  The hot-block classification is
+ * a sorted array installed once via repro_sim_set_hot; hotness is a
+ * pure function of the block ID, so the threaded two-pass variant
+ * stays partition-safe.
  *
  * Compiled on demand by repro/cachesim/fast.py with the system C compiler
  * into a shared library and driven through ctypes:
  *
  *   handle = repro_sim_create(...geometry..., policy)
+ *   repro_sim_set_hot(handle, blocks, n)                       // optional
  *   repro_sim_step(handle, blocks, counts, writes, cores, n)   // chunked
  *   repro_sim_counters(handle, out[8])
  *   repro_sim_destroy(handle)
@@ -31,6 +41,22 @@
 #define DIR_EMPTY (-1)
 #define DIR_TOMB (-2)
 
+/* One row of the policy-dispatch table; mirrors
+ * repro.cachesim.policies.ReplacementPolicy flag for flag. */
+typedef struct {
+    int promote_hot, promote_cold;       /* hit moves line to MRU */
+    int insert_mru_hot, insert_mru_cold; /* fill position (else LRU end) */
+    int protect_hot;                     /* eviction skips hot lines */
+} PolicySpec;
+
+static const PolicySpec POLICY_TABLE[] = {
+    {1, 1, 1, 1, 0}, /* 0: lru   */
+    {0, 0, 1, 1, 0}, /* 1: fifo  */
+    {1, 1, 0, 0, 0}, /* 2: lip   */
+    {1, 1, 1, 0, 1}, /* 3: grasp */
+};
+#define NUM_POLICIES ((int32_t)(sizeof(POLICY_TABLE) / sizeof(POLICY_TABLE[0])))
+
 typedef struct {
     int64_t *tags;  /* num_sets * ways, list-ordered LRU..MRU */
     int32_t *len;   /* live lines per set */
@@ -48,8 +74,9 @@ typedef struct {
     Level l1, l2, l3;
     int64_t cores_per_socket;
     int64_t ownership_cap;
-    int promote;    /* lru/lip: hits move to MRU */
-    int insert_mru; /* lru/fifo: fills land at MRU; lip fills at LRU */
+    PolicySpec pol;     /* POLICY_TABLE row for this instance */
+    int64_t *hot_blocks; /* sorted hot-block IDs (skew-aware policies) */
+    int64_t hot_n;
 
     /* last-writer directory: hash table of entry indices + recency list */
     DirEntry *entries;
@@ -114,13 +141,41 @@ static int level_access(Level *L, int64_t b, int promote) {
     return 0;
 }
 
-/* Fill after a miss: evict the pop(0) victim when full, then insert. */
-static void level_insert(Level *L, int64_t b, int insert_mru) {
+/* Whether a block is classified hot (binary search; empty set = cold). */
+static int sim_is_hot(const Sim *s, int64_t b) {
+    int64_t lo = 0, hi = s->hot_n;
+    if (hi == 0)
+        return 0;
+    while (lo < hi) {
+        int64_t mid = (lo + hi) >> 1;
+        if (s->hot_blocks[mid] < b)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo < s->hot_n && s->hot_blocks[lo] == b;
+}
+
+/* Fill after a miss: evict the del ways[victim] line when full, then
+ * insert.  The victim is index 0 (the LRU end), except under a
+ * protecting policy, which scans for the first *cold* line and only
+ * falls back to index 0 when the whole set is hot. */
+static void level_insert(const Sim *s, Level *L, int64_t b, int insert_mru) {
     int64_t set = b & L->mask;
     int64_t *w = L->tags + set * L->ways;
     int32_t len = L->len[set];
     if (len >= L->ways) {
-        memmove(w, w + 1, (size_t)(len - 1) * sizeof(int64_t));
+        int32_t victim = 0;
+        if (s->pol.protect_hot) {
+            for (int32_t j = 0; j < len; j++) {
+                if (!sim_is_hot(s, w[j])) {
+                    victim = j;
+                    break;
+                }
+            }
+        }
+        memmove(w + victim, w + victim + 1,
+                (size_t)(len - 1 - victim) * sizeof(int64_t));
         len--;
     }
     if (insert_mru) {
@@ -285,6 +340,8 @@ void *repro_sim_create(int64_t l1_sets, int64_t l1_ways, int64_t l2_sets,
                        int64_t l2_ways, int64_t l3_sets, int64_t l3_ways,
                        int64_t cores_per_socket, int64_t ownership_cap,
                        int32_t policy) {
+    if (policy < 0 || policy >= NUM_POLICIES)
+        return NULL;
     Sim *s = (Sim *)calloc(1, sizeof(Sim));
     if (!s)
         return NULL;
@@ -294,8 +351,7 @@ void *repro_sim_create(int64_t l1_sets, int64_t l1_ways, int64_t l2_sets,
         goto fail;
     s->cores_per_socket = cores_per_socket;
     s->ownership_cap = ownership_cap;
-    s->promote = policy != 1;    /* lru, lip */
-    s->insert_mru = policy != 2; /* lru, fifo */
+    s->pol = POLICY_TABLE[policy];
     s->entries_cap = 128;
     s->entries = (DirEntry *)malloc((size_t)s->entries_cap * sizeof(DirEntry));
     if (!s->entries)
@@ -319,6 +375,24 @@ fail:
     free(s->table);
     free(s);
     return NULL;
+}
+
+/* Install the sorted hot-block classification (replacing any previous
+ * one; n == 0 clears it).  Must be called between steps, never during
+ * one.  Returns 0 on success, -1 on OOM. */
+int32_t repro_sim_set_hot(void *handle, const int64_t *blocks, int64_t n) {
+    Sim *s = (Sim *)handle;
+    int64_t *copy = NULL;
+    if (n > 0) {
+        copy = (int64_t *)malloc((size_t)n * sizeof(int64_t));
+        if (!copy)
+            return -1;
+        memcpy(copy, blocks, (size_t)n * sizeof(int64_t));
+    }
+    free(s->hot_blocks);
+    s->hot_blocks = copy;
+    s->hot_n = n > 0 ? n : 0;
+    return 0;
 }
 
 int32_t repro_sim_step(void *handle, const int64_t *blocks,
@@ -351,20 +425,23 @@ int32_t repro_sim_step(void *handle, const int64_t *blocks,
             level_force_insert(&s->l2, b);
             continue;
         }
-        if (!level_access(&s->l1, b, s->promote)) {
+        int hot = sim_is_hot(s, b);
+        int promote = hot ? s->pol.promote_hot : s->pol.promote_cold;
+        int insert_mru = hot ? s->pol.insert_mru_hot : s->pol.insert_mru_cold;
+        if (!level_access(&s->l1, b, promote)) {
             s->l1_miss++;
-            if (!level_access(&s->l2, b, s->promote)) {
+            if (!level_access(&s->l2, b, promote)) {
                 s->l2_miss++;
-                if (level_access(&s->l3, b, s->promote)) {
+                if (level_access(&s->l3, b, promote)) {
                     s->l3_hit++;
                 } else {
                     s->l3_miss++;
                     s->offchip++;
-                    level_insert(&s->l3, b, s->insert_mru);
+                    level_insert(s, &s->l3, b, insert_mru);
                 }
-                level_insert(&s->l2, b, s->insert_mru);
+                level_insert(s, &s->l2, b, insert_mru);
             }
-            level_insert(&s->l1, b, s->insert_mru);
+            level_insert(s, &s->l1, b, insert_mru);
         }
         if (is_write) {
             if (dir_set(s, b, core) != 0)
@@ -416,20 +493,25 @@ static void *sim_worker_run(void *arg) {
             level_force_insert(&s->l2, b);
             continue;
         }
-        if (!level_access(&s->l1, b, s->promote)) {
+        /* Hotness is a pure function of the block ID (a read-only
+         * sorted array), so per-partition replay stays deterministic. */
+        int hot = sim_is_hot(s, b);
+        int promote = hot ? s->pol.promote_hot : s->pol.promote_cold;
+        int insert_mru = hot ? s->pol.insert_mru_hot : s->pol.insert_mru_cold;
+        if (!level_access(&s->l1, b, promote)) {
             w->l1_miss++;
-            if (!level_access(&s->l2, b, s->promote)) {
+            if (!level_access(&s->l2, b, promote)) {
                 w->l2_miss++;
-                if (level_access(&s->l3, b, s->promote)) {
+                if (level_access(&s->l3, b, promote)) {
                     w->l3_hit++;
                 } else {
                     w->l3_miss++;
                     w->offchip++;
-                    level_insert(&s->l3, b, s->insert_mru);
+                    level_insert(s, &s->l3, b, insert_mru);
                 }
-                level_insert(&s->l2, b, s->insert_mru);
+                level_insert(s, &s->l2, b, insert_mru);
             }
-            level_insert(&s->l1, b, s->insert_mru);
+            level_insert(s, &s->l1, b, insert_mru);
         }
     }
     return NULL;
@@ -568,6 +650,7 @@ void repro_sim_destroy(void *handle) {
     level_free(&s->l1);
     level_free(&s->l2);
     level_free(&s->l3);
+    free(s->hot_blocks);
     free(s->entries);
     free(s->table);
     free(s);

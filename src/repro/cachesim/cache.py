@@ -1,18 +1,21 @@
-"""A single set-associative LRU cache.
+"""A single set-associative cache driven by a registered policy.
 
 This is the reference implementation used by the unit and property tests;
 :mod:`repro.cachesim.hierarchy` inlines the same semantics in a tighter
 loop for the three-level simulation, and a test asserts the two agree on
-random traces.
+random traces.  Replacement behaviour comes from the pluggable registry
+in :mod:`repro.cachesim.policies`.
 """
 
 from __future__ import annotations
+
+from repro.cachesim.policies import ReplacementPolicy, get_policy
 
 __all__ = ["SetAssociativeCache"]
 
 
 class SetAssociativeCache:
-    """LRU set-associative cache over block IDs.
+    """Set-associative cache over block IDs with a pluggable policy.
 
     Parameters
     ----------
@@ -24,25 +27,28 @@ class SetAssociativeCache:
     block_bytes:
         Cache block size (64 in the paper).
     policy:
-        Replacement policy: ``"lru"`` (default), ``"fifo"`` (no promotion
-        on hit) or ``"lip"`` (LRU-insertion: fills land at the LRU end, so
-        a line must be reused to survive — a thrash-resistant policy from
-        the cache-management literature the paper's related work cites).
+        A registered policy name (see :mod:`repro.cachesim.policies`) or a
+        :class:`~repro.cachesim.policies.ReplacementPolicy` instance.
+        Unknown names raise :class:`~repro.cachesim.policies.UnknownPolicyError`
+        listing the registered policies.
+    hot_blocks:
+        Optional static hot-block classification for skew-aware policies
+        (``grasp``); iterable of block IDs.  Ignored by policies that do
+        not distinguish hot from cold.
     """
-
-    POLICIES = ("lru", "fifo", "lip")
 
     def __init__(
         self,
         size_bytes: int,
         associativity: int,
         block_bytes: int = 64,
-        policy: str = "lru",
+        policy: str | ReplacementPolicy = "lru",
+        hot_blocks=None,
     ) -> None:
         if size_bytes <= 0 or associativity <= 0:
             raise ValueError("size and associativity must be positive")
-        if policy not in self.POLICIES:
-            raise ValueError(f"unknown policy {policy!r}; known: {self.POLICIES}")
+        if not isinstance(policy, ReplacementPolicy):
+            policy = get_policy(policy, context="SetAssociativeCache")
         num_blocks, rem = divmod(size_bytes, block_bytes)
         if rem:
             raise ValueError("size_bytes must be a multiple of block_bytes")
@@ -57,26 +63,40 @@ class SetAssociativeCache:
         self.policy = policy
         self.num_sets = num_sets
         self._mask = num_sets - 1
-        self._promote_on_hit = policy in ("lru", "lip")
-        self._insert_mru = policy in ("lru", "fifo")
+        self._hot = frozenset(int(b) for b in hot_blocks) if hot_blocks is not None else frozenset()
         # Each set is a list of block IDs, LRU at index 0, MRU at the end.
         self._sets: list[list[int]] = [[] for _ in range(num_sets)]
         self.hits = 0
         self.misses = 0
+        #: Per-policy protection/classification counters (cleared together
+        #: with the hit/miss statistics by :meth:`reset_stats`).
+        self.policy_events = {"hot_fills": 0, "protected_evictions": 0}
 
     def access(self, block: int) -> bool:
         """Access one block; returns True on hit.  Misses allocate."""
         ways = self._sets[block & self._mask]
+        hot = block in self._hot
+        promote, insert_mru = self.policy.flags_for(hot)
         if block in ways:
-            if self._promote_on_hit and ways[-1] != block:
+            if promote and ways[-1] != block:
                 ways.remove(block)
                 ways.append(block)
             self.hits += 1
             return True
         self.misses += 1
+        if hot:
+            self.policy_events["hot_fills"] += 1
         if len(ways) >= self.associativity:
-            ways.pop(0)
-        if self._insert_mru:
+            victim = 0
+            if self.policy.protect_hot:
+                for j, resident in enumerate(ways):
+                    if resident not in self._hot:
+                        victim = j
+                        break
+                if victim:
+                    self.policy_events["protected_evictions"] += 1
+            del ways[victim]
+        if insert_mru:
             ways.append(block)
         else:
             ways.insert(0, block)
@@ -91,5 +111,8 @@ class SetAssociativeCache:
         return {block for ways in self._sets for block in ways}
 
     def reset_stats(self) -> None:
+        """Zero hit/miss counters *and* the per-policy protection state."""
         self.hits = 0
         self.misses = 0
+        for key in self.policy_events:
+            self.policy_events[key] = 0

@@ -24,8 +24,11 @@ from __future__ import annotations
 import ctypes
 from pathlib import Path
 
+import numpy as np
+
 from repro import engines
 from repro._compile import KernelUnavailable, LazyKernel, kernel_build_dir
+from repro.cachesim.policies import get_policy
 from repro.framework.trace import MemoryTrace
 
 __all__ = [
@@ -41,8 +44,6 @@ __all__ = [
 #: instrumentation layer a progress granularity on huge traces.
 DEFAULT_CHUNK_RUNS = 1 << 20
 
-_POLICY_CODES = {"lru": 0, "fifo": 1, "lip": 2}
-
 
 def _source_path() -> Path:
     return Path(__file__).with_name("_fastsim.c")
@@ -53,6 +54,8 @@ def _configure(lib: ctypes.CDLL) -> None:
     p64 = ctypes.POINTER(ctypes.c_int64)
     lib.repro_sim_create.argtypes = [i64] * 8 + [ctypes.c_int32]
     lib.repro_sim_create.restype = ctypes.c_void_p
+    lib.repro_sim_set_hot.argtypes = [ctypes.c_void_p, p64, i64]
+    lib.repro_sim_set_hot.restype = ctypes.c_int32
     lib.repro_sim_step.argtypes = [
         ctypes.c_void_p,
         p64,
@@ -110,13 +113,12 @@ class FastSimulator:
     C-side allocation.
     """
 
-    def __init__(self, config, threads: int | None = None) -> None:
+    def __init__(self, config, threads: int | None = None, hot_blocks=None) -> None:
         from repro.cachesim.hierarchy import HierarchyConfig
 
         if not isinstance(config, HierarchyConfig):
             raise TypeError(f"expected HierarchyConfig, got {type(config).__name__}")
-        if config.replacement not in _POLICY_CODES:
-            raise ValueError(f"unknown replacement policy {config.replacement!r}")
+        policy = get_policy(config.replacement, context="HierarchyConfig.replacement")
         cap = config.effective_ownership_blocks
         if not 0 <= cap < 2**31 - 2:
             raise ValueError(f"ownership capacity {cap} out of kernel range")
@@ -133,10 +135,30 @@ class FastSimulator:
             config.l3.associativity,
             config.cores_per_socket,
             cap,
-            _POLICY_CODES[config.replacement],
+            policy.code,
         )
         if not self._handle:
             raise MemoryError("kernel state allocation failed")
+        if hot_blocks is not None:
+            self.set_hot_blocks(hot_blocks)
+
+    def set_hot_blocks(self, hot_blocks) -> None:
+        """Install the hot-block classification for skew-aware policies.
+
+        Accepts any int sequence; the kernel keeps a sorted private copy
+        (an empty sequence clears the classification, making every block
+        cold).  Call between :meth:`step` calls, not during one.
+        """
+        if self._handle is None:
+            raise RuntimeError("simulator is closed")
+        blocks = np.unique(np.asarray(hot_blocks, dtype=np.int64))
+        rc = self._lib.repro_sim_set_hot(
+            self._handle,
+            blocks.ctypes.data_as(ctypes.POINTER(ctypes.c_int64)),
+            blocks.size,
+        )
+        if rc != 0:
+            raise MemoryError("kernel could not allocate the hot-block set")
 
     def __enter__(self) -> "FastSimulator":
         return self
@@ -199,16 +221,18 @@ def simulate_trace_fast(
     config,
     chunk_runs: int = DEFAULT_CHUNK_RUNS,
     threads: int | None = None,
+    hot_blocks=None,
 ):
     """Run a full trace through the compiled engine; returns CacheStats.
 
     ``threads`` selects the pthread-chunked kernel variant (``None`` = the
-    serial loop); results are bit-identical either way.  Raises
-    :class:`KernelUnavailable` when the kernel cannot be built; callers
-    wanting a fallback should use :func:`repro.cachesim.simulate_trace`
-    with the ``auto`` engine.
+    serial loop); results are bit-identical either way.  ``hot_blocks``
+    is the static hot-block classification for skew-aware policies.
+    Raises :class:`KernelUnavailable` when the kernel cannot be built;
+    callers wanting a fallback should use
+    :func:`repro.cachesim.simulate_trace` with the ``auto`` engine.
     """
-    with FastSimulator(config, threads=threads) as sim:
+    with FastSimulator(config, threads=threads, hot_blocks=hot_blocks) as sim:
         for blocks, counts, writes, cores in trace.chunks(chunk_runs):
             sim.step(blocks, counts, writes, cores)
         return sim.stats()

@@ -26,6 +26,7 @@ import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from repro.cachesim.policies import get_policy
 from repro.framework.trace import MemoryTrace, StreamingTrace
 
 __all__ = [
@@ -67,8 +68,10 @@ class HierarchyConfig:
     l2: CacheGeometry
     l3: CacheGeometry
     cores_per_socket: int = 20
-    #: Replacement policy at every level: "lru", "fifo" or "lip" (see
-    #: :class:`repro.cachesim.cache.SetAssociativeCache`).
+    #: Replacement policy at every level: any name registered in
+    #: :mod:`repro.cachesim.policies` ("lru", "fifo", "lip", "grasp", ...).
+    #: Skew-aware policies additionally consume the ``hot_blocks``
+    #: classification passed to :func:`simulate_trace`.
     replacement: str = "lru"
     #: Capacity (in blocks) of the dirty-line directory: how many distinct
     #: blocks can be dirty across all cores' private caches at once.  Models
@@ -162,6 +165,7 @@ def simulate_trace(
     config: HierarchyConfig = DEFAULT_HIERARCHY,
     engine: str | None = None,
     threads: int | None = None,
+    hot_blocks=None,
 ) -> CacheStats:
     """Run a compressed trace through the hierarchy; returns counters.
 
@@ -173,8 +177,10 @@ def simulate_trace(
     else the CPU count).  A :class:`StreamingTrace` is consumed chunk by
     chunk through the kernel's persistent state, so the full trace is
     never materialized (the reference loop, which has no incremental
-    entry point, materializes it).  Every call is accounted to
-    :mod:`repro.cachesim.stats`.
+    entry point, materializes it).  ``hot_blocks`` is the static
+    hot-block classification consumed by skew-aware policies such as
+    ``grasp`` (sorted block IDs; ignored by classic policies).  Every
+    call is accounted to :mod:`repro.cachesim.stats`.
     """
     from repro.cachesim import stats as simstats
 
@@ -190,7 +196,9 @@ def simulate_trace(
                 threads = engines.resolve_kernel_threads(threads)
             start = time.perf_counter()
             if streaming:
-                with fast.FastSimulator(config, threads=threads) as sim:
+                with fast.FastSimulator(
+                    config, threads=threads, hot_blocks=hot_blocks
+                ) as sim:
                     runs = 0
                     for blocks, counts, writes, cores in trace.chunks():
                         sim.step(blocks, counts, writes, cores)
@@ -198,7 +206,9 @@ def simulate_trace(
                     result = sim.stats()
             else:
                 runs = len(trace)
-                result = fast.simulate_trace_fast(trace, config, threads=threads)
+                result = fast.simulate_trace_fast(
+                    trace, config, threads=threads, hot_blocks=hot_blocks
+                )
             simstats.record(
                 "fast", runs, result.accesses, time.perf_counter() - start
             )
@@ -206,7 +216,7 @@ def simulate_trace(
     if streaming:
         trace = trace.materialize()
     start = time.perf_counter()
-    result = simulate_trace_reference(trace, config)
+    result = simulate_trace_reference(trace, config, hot_blocks=hot_blocks)
     simstats.record(
         "reference", len(trace), result.accesses, time.perf_counter() - start
     )
@@ -214,12 +224,17 @@ def simulate_trace(
 
 
 def simulate_trace_reference(
-    trace: MemoryTrace, config: HierarchyConfig = DEFAULT_HIERARCHY
+    trace: MemoryTrace,
+    config: HierarchyConfig = DEFAULT_HIERARCHY,
+    hot_blocks=None,
 ) -> CacheStats:
     """The pure-Python oracle the fast engine is verified against.
 
     Consecutive repeat accesses inside a trace run (``counts > 1``) are L1
-    hits by construction and only bump the access counter.
+    hits by construction and only bump the access counter.  ``hot_blocks``
+    (block IDs classified hot, for skew-aware policies) selects each
+    access's hot/cold policy flags and drives eviction protection; the
+    snoop force-insert path stays policy-oblivious.
     """
     l1_sets = [[] for _ in range(config.l1.num_sets)]
     l2_sets = [[] for _ in range(config.l2.num_sets)]
@@ -228,10 +243,29 @@ def simulate_trace_reference(
     l2_mask, l2_ways = config.l2.num_sets - 1, config.l2.associativity
     l3_mask, l3_ways = config.l3.num_sets - 1, config.l3.associativity
     cores_per_socket = config.cores_per_socket
-    if config.replacement not in ("lru", "fifo", "lip"):
-        raise ValueError(f"unknown replacement policy {config.replacement!r}")
-    promote = config.replacement in ("lru", "lip")
-    insert_mru = config.replacement in ("lru", "fifo")
+    pol = get_policy(config.replacement, context="HierarchyConfig.replacement")
+    hot_set = (
+        frozenset(int(b) for b in hot_blocks) if hot_blocks is not None else frozenset()
+    )
+    protect = pol.protect_hot
+    hot_flags = (pol.promote_hot, pol.insert_mru_hot)
+    cold_flags = (pol.promote_cold, pol.insert_mru_cold)
+
+    def fill(ways, capacity, b, insert_mru):
+        # Miss fill: evict the LRU-end victim when full — skipping hot
+        # lines first under a protecting policy — then insert.
+        if len(ways) >= capacity:
+            victim = 0
+            if protect:
+                for j, resident in enumerate(ways):
+                    if resident not in hot_set:
+                        victim = j
+                        break
+            del ways[victim]
+        if insert_mru:
+            ways.append(b)
+        else:
+            ways.insert(0, b)
 
     last_writer: OrderedDict[int, int] = OrderedDict()
     ownership_cap = config.effective_ownership_blocks
@@ -276,6 +310,7 @@ def simulate_trace_reference(
                     ways2.pop(0)
                 ways2.append(b)
             continue
+        promote, insert_mru = hot_flags if b in hot_set else cold_flags
         ways = l1_sets[b & l1_mask]
         if b in ways:
             if promote and ways[-1] != b:
@@ -299,24 +334,9 @@ def simulate_trace_reference(
                 else:
                     l3_misses += 1
                     offchip += 1
-                    if len(ways3) >= l3_ways:
-                        ways3.pop(0)
-                    if insert_mru:
-                        ways3.append(b)
-                    else:
-                        ways3.insert(0, b)
-                if len(ways2) >= l2_ways:
-                    ways2.pop(0)
-                if insert_mru:
-                    ways2.append(b)
-                else:
-                    ways2.insert(0, b)
-            if len(ways) >= l1_ways:
-                ways.pop(0)
-            if insert_mru:
-                ways.append(b)
-            else:
-                ways.insert(0, b)
+                    fill(ways3, l3_ways, b, insert_mru)
+                fill(ways2, l2_ways, b, insert_mru)
+            fill(ways, l1_ways, b, insert_mru)
         if is_write:
             last_writer[b] = core
             last_writer.move_to_end(b)

@@ -1,0 +1,197 @@
+"""Pluggable replacement-policy registry shared by both simulator engines.
+
+The replacement policy used to be a closed three-string tuple buried in
+:class:`~repro.cachesim.cache.SetAssociativeCache` with the fast engine
+hard-coding the same two booleans.  This module makes the policy axis a
+first-class registry so the technique × policy frontier (ROADMAP item 4)
+can be swept like any other content-addressed dimension.
+
+A :class:`ReplacementPolicy` describes the three decision points of a
+set-associative way list (index 0 = LRU end, last index = MRU end):
+
+* **promotion** — whether a hit moves the line to the MRU end
+  (``promote_hot`` / ``promote_cold``);
+* **insert position** — whether a fill lands at the MRU end or the LRU
+  end (``insert_mru_hot`` / ``insert_mru_cold``);
+* **protection** — whether eviction scans from the LRU end for the first
+  *cold* victim, skipping hot lines (``protect_hot``).
+
+"Hot" is a static classification of cache blocks supplied by the caller
+(``hot_blocks``), derived from the same degree-sorted vertex property the
+skew-aware reordering techniques use (:meth:`GraphApp.hot_property_blocks`).
+Policies with ``needs_hot_blocks=False`` treat every block as cold, so
+the hot/cold split is invisible to them; with an *empty* hot set, every
+registered policy degenerates to its cold-side flags and ``grasp``
+behaves exactly like ``lip``.
+
+The registered policies:
+
+======  ====  =========================================================
+name    code  behaviour
+======  ====  =========================================================
+lru     0     promote on hit, fill at MRU
+fifo    1     no promotion, fill at MRU (insertion order only)
+lip     2     promote on hit, fill at LRU (must be reused to survive)
+grasp   3     skew-aware: hot fills at MRU and protected from eviction,
+              cold fills at LRU; both promote on hit (after Faldu's
+              GRASP, domain-specialized cache management)
+======  ====  =========================================================
+
+``code`` is the stable integer the compiled kernel's policy-dispatch
+table (``POLICY_TABLE`` in ``_fastsim.c``) is indexed by; the two
+engines must stay bit-identical per policy (enforced by the
+differential suite).  The snoop/force-insert path is deliberately
+policy-oblivious in both engines: a cache-to-cache forward installs the
+line at the MRU end regardless of policy, mirroring hardware where the
+coherence fill path bypasses the replacement heuristics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "ReplacementPolicy",
+    "UnknownPolicyError",
+    "POLICIES",
+    "register_policy",
+    "get_policy",
+    "policy_names",
+]
+
+
+class UnknownPolicyError(ValueError):
+    """Raised for a policy name that is not in the registry.
+
+    Subclasses :class:`ValueError` so existing ``except ValueError``
+    admission paths (serve, CLI) keep working; the message always lists
+    the registered names.
+    """
+
+    def __init__(self, name: object, context: str = "") -> None:
+        where = f" ({context})" if context else ""
+        super().__init__(
+            f"unknown replacement policy {name!r}{where}; "
+            f"registered policies: {policy_names()}"
+        )
+        self.name = name
+
+
+@dataclass(frozen=True)
+class ReplacementPolicy:
+    """One replacement policy: per-class promotion/insertion + protection."""
+
+    name: str
+    #: Stable integer code of the kernel's ``POLICY_TABLE`` row.
+    code: int
+    #: Hit promotion to the MRU end, per hot/cold class.
+    promote_hot: bool
+    promote_cold: bool
+    #: Fill position (MRU end vs LRU end), per hot/cold class.
+    insert_mru_hot: bool
+    insert_mru_cold: bool
+    #: Eviction skips hot lines (falls back to plain LRU victim when the
+    #: whole set is hot).
+    protect_hot: bool
+    #: Whether the policy is meaningless without a hot-block
+    #: classification; pipelines only compute ``hot_blocks`` when true.
+    needs_hot_blocks: bool = False
+
+    def flags_for(self, hot: bool) -> tuple[bool, bool]:
+        """``(promote, insert_mru)`` for one access class."""
+        if hot:
+            return self.promote_hot, self.insert_mru_hot
+        return self.promote_cold, self.insert_mru_cold
+
+    def cache_token(self) -> tuple:
+        """Full semantic identity, folded into cell content addresses.
+
+        Changing any behavioural flag (not just the name) must re-address
+        every cell simulated under the policy.
+        """
+        return (
+            self.name,
+            self.code,
+            self.promote_hot,
+            self.promote_cold,
+            self.insert_mru_hot,
+            self.insert_mru_cold,
+            self.protect_hot,
+        )
+
+
+#: The registry, keyed by policy name.
+POLICIES: dict[str, ReplacementPolicy] = {}
+
+
+def register_policy(policy: ReplacementPolicy) -> ReplacementPolicy:
+    """Register a policy; names and kernel codes must be unique."""
+    if policy.name in POLICIES:
+        raise ValueError(f"policy {policy.name!r} is already registered")
+    taken = {p.code: p.name for p in POLICIES.values()}
+    if policy.code in taken:
+        raise ValueError(
+            f"policy code {policy.code} is already used by {taken[policy.code]!r}"
+        )
+    POLICIES[policy.name] = policy
+    return policy
+
+
+def get_policy(name: str, context: str = "") -> ReplacementPolicy:
+    """Look up a registered policy; unknown names raise the named error."""
+    try:
+        return POLICIES[name]
+    except KeyError:
+        raise UnknownPolicyError(name, context) from None
+
+
+def policy_names() -> tuple[str, ...]:
+    """Registered policy names, in registration (code) order."""
+    return tuple(POLICIES)
+
+
+register_policy(
+    ReplacementPolicy(
+        "lru",
+        code=0,
+        promote_hot=True,
+        promote_cold=True,
+        insert_mru_hot=True,
+        insert_mru_cold=True,
+        protect_hot=False,
+    )
+)
+register_policy(
+    ReplacementPolicy(
+        "fifo",
+        code=1,
+        promote_hot=False,
+        promote_cold=False,
+        insert_mru_hot=True,
+        insert_mru_cold=True,
+        protect_hot=False,
+    )
+)
+register_policy(
+    ReplacementPolicy(
+        "lip",
+        code=2,
+        promote_hot=True,
+        promote_cold=True,
+        insert_mru_hot=False,
+        insert_mru_cold=False,
+        protect_hot=False,
+    )
+)
+register_policy(
+    ReplacementPolicy(
+        "grasp",
+        code=3,
+        promote_hot=True,
+        promote_cold=True,
+        insert_mru_hot=True,
+        insert_mru_cold=False,
+        protect_hot=True,
+        needs_hot_blocks=True,
+    )
+)

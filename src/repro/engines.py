@@ -46,6 +46,8 @@ __all__ = [
     "validate_env",
     "fast_available",
     "unavailable_reason",
+    "sim_policies",
+    "validate_policy",
     "status",
 ]
 
@@ -186,6 +188,32 @@ def unavailable_reason(domain: str) -> str | None:
     return _impl(domain).kernel_unavailable_reason()
 
 
+def sim_policies() -> tuple[str, ...]:
+    """Registered replacement-policy names of the ``sim`` domain.
+
+    The policy registry (:mod:`repro.cachesim.policies`) is the sim
+    domain's second axis: both engines dispatch on it and stay
+    bit-identical per policy, so validation belongs next to engine
+    validation.
+    """
+    from repro.cachesim import policies
+
+    return policies.policy_names()
+
+
+def validate_policy(name: str, context: str = ""):
+    """Validate a replacement-policy name against the registry.
+
+    Returns the :class:`~repro.cachesim.policies.ReplacementPolicy`;
+    unknown names raise
+    :class:`~repro.cachesim.policies.UnknownPolicyError` (a
+    :class:`ValueError`) listing the registered policies.
+    """
+    from repro.cachesim import policies
+
+    return policies.get_policy(name, context=context)
+
+
 def status() -> dict[str, dict]:
     """Availability report for every domain (CLI / CI / stage checks)."""
     report: dict[str, dict] = {}
@@ -197,6 +225,7 @@ def status() -> dict[str, dict]:
             "fast_available": fast_available(name),
             "unavailable_reason": unavailable_reason(name),
         }
+    report["sim"]["policies"] = list(sim_policies())
     report["kernel_threads"] = {
         "env_var": THREADS_ENV,
         "env_value": os.environ.get(THREADS_ENV),

@@ -209,6 +209,7 @@ class RunContext:
         datasets: list[str],
         techniques: list[str],
         workers: int | None,
+        policies: list[str] | None = None,
     ) -> None:
         """Record one grid's shape and the seeds of the datasets it touches."""
         with self._lock:
@@ -217,8 +218,12 @@ class RunContext:
                     "apps": list(apps),
                     "datasets": list(datasets),
                     "techniques": list(techniques),
+                    "policies": list(policies) if policies else None,
                     "workers": workers,
-                    "cells": len(apps) * len(datasets) * len(techniques),
+                    "cells": len(apps)
+                    * len(datasets)
+                    * len(techniques)
+                    * (len(policies) if policies else 1),
                 }
             )
         try:

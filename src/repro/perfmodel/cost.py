@@ -12,6 +12,7 @@ HubSort-O      full (degree, id) pair sort + classify (> Sort)
 HubCluster     two linear passes
 HubCluster-O   one fused linear pass (cheapest)
 DBG            degree pass + binning pass + prefix sums
+BOBA           one streaming pass over the edge-endpoint stream
 Gorder         per-placement affinity updates: for every vertex, its
                in/out adjacency plus the out-lists of its in-neighbours
                (hub-capped), each through a priority queue
@@ -34,6 +35,7 @@ import numpy as np
 
 from repro.graph.csr import Graph
 from repro.reorder.base import ReorderingTechnique
+from repro.reorder.boba import BOBA
 from repro.reorder.compose import Composed
 from repro.reorder.dbg import DBG
 from repro.reorder.gorder import Gorder
@@ -89,6 +91,11 @@ class ReorderCostModel:
             return 2 * n * self.pass_per_vertex
         if isinstance(technique, DBG):
             return 3 * n * self.pass_per_vertex
+        if isinstance(technique, BOBA):
+            # One streaming pass over the edge-endpoint stream (bucketed,
+            # but the work is linear either way) plus the unseen-vertex
+            # append pass.
+            return (graph.num_edges + n) * self.pass_per_vertex
         if isinstance(technique, (RandomVertex, RandomCacheBlock)):
             return 2 * n * self.pass_per_vertex
         if isinstance(technique, CommunityOrder):

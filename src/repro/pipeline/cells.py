@@ -31,6 +31,7 @@ pickling them to disk.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import astuple, dataclass, field
 
 import numpy as np
@@ -38,7 +39,7 @@ import numpy as np
 from repro.observability import TRACER
 from repro.pipeline.profiler import PROFILER
 from repro.apps import make_app
-from repro.cachesim import DEFAULT_HIERARCHY, HierarchyConfig, simulate_trace
+from repro.cachesim import DEFAULT_HIERARCHY, HierarchyConfig, get_policy, simulate_trace
 from repro.graph.csr import Graph
 from repro.graph.generators import load_dataset
 from repro.perfmodel.cost import ReorderCostModel
@@ -137,6 +138,44 @@ class CellPipeline:
         self._plans: dict[tuple, object] = {}
         self._mappings: dict[tuple, np.ndarray] = {}
         self._reordered: dict[tuple, Graph] = {}
+        #: Hot-block classifications for skew-aware policies, keyed by
+        #: (app, dataset, technique, degree_kind) — policy-independent.
+        self._hot_blocks: dict[tuple, np.ndarray] = {}
+        self._policy_views: dict[str, "CellPipeline"] = {}
+
+    #: Memory caches a policy view shares with its parent pipeline by
+    #: reference (everything policy-independent: graphs, plans, mappings,
+    #: relabelled graphs and hot-block classifications).
+    _SHARED_CACHES = ("_graphs", "_plans", "_mappings", "_reordered", "_hot_blocks")
+
+    def policy_view(self, policy: str | None) -> "CellPipeline":
+        """A pipeline view simulating under ``policy``, sharing everything else.
+
+        The policy axis only affects the simulate/model stages: graphs,
+        plans, mappings, relabelled graphs and traces are identical
+        across policies, so the view shares those memory caches (and the
+        store) with its parent by reference — this is what gives
+        ``run_grid``'s policy axis the same exactly-once stage dedup the
+        technique axis has.  ``None`` or the current policy returns
+        ``self``; unknown names raise
+        :class:`~repro.cachesim.policies.UnknownPolicyError`.
+        """
+        if policy is None or policy == self.config.hierarchy.replacement:
+            return self
+        view = self._policy_views.get(policy)
+        if view is None:
+            get_policy(policy, context="policy_view")
+            config = dataclasses.replace(
+                self.config,
+                hierarchy=dataclasses.replace(
+                    self.config.hierarchy, replacement=policy
+                ),
+            )
+            view = type(self)(config, store=self.store)
+            for name in self._SHARED_CACHES:
+                setattr(view, name, getattr(self, name))
+            self._policy_views[policy] = view
+        return view
 
     # -- hooks ---------------------------------------------------------------
     def seed_graphs(self, graphs: dict) -> None:
@@ -325,6 +364,9 @@ class CellPipeline:
         graph = self.reordered_graph(dataset, technique_name, degree_kind, weighted)
         mapping = self.mapping(dataset, technique_name, degree_kind)
         plan = self.plan(app_name, dataset, root).remap(mapping)
+        hot_blocks = self.hot_blocks_for(
+            app, app_name, dataset, technique_name, degree_kind
+        )
         with PROFILER.stage(
             "trace+simulate",
             app=app_name,
@@ -333,8 +375,39 @@ class CellPipeline:
             fused=True,
         ):
             app_trace = app.trace_streaming(graph, plan)
-            stats = simulate_trace(app_trace.trace, self.config.hierarchy)
+            stats = simulate_trace(
+                app_trace.trace, self.config.hierarchy, hot_blocks=hot_blocks
+            )
         return app_trace, stats
+
+    def hot_blocks_for(
+        self,
+        app,
+        app_name: str,
+        dataset: str,
+        technique_name: str,
+        degree_kind: str,
+    ) -> np.ndarray | None:
+        """Hot-block classification for the configured policy, or ``None``.
+
+        Computed only when the replacement policy declares
+        ``needs_hot_blocks`` (``grasp``), from the *relabelled* graph —
+        block IDs live in the reordered address space — and memoized per
+        (app, dataset, technique, degree kind).  The classification
+        itself (above-average degree, the technique's degree kind) is
+        policy-independent, so the memo is shared across policy views.
+        """
+        policy = get_policy(
+            self.config.hierarchy.replacement, context="HierarchyConfig.replacement"
+        )
+        if not policy.needs_hot_blocks:
+            return None
+        key = (app_name, dataset, technique_name, degree_kind)
+        if key not in self._hot_blocks:
+            weighted = app_name == "SSSP"
+            graph = self.reordered_graph(dataset, technique_name, degree_kind, weighted)
+            self._hot_blocks[key] = app.hot_property_blocks(graph)
+        return self._hot_blocks[key]
 
     def app_trace(
         self,
@@ -377,8 +450,15 @@ class CellPipeline:
 
     # -- stages: simulate + model (the cell aggregate) -----------------------
     def cell_store_key(self, app_name: str, dataset: str, technique_name: str) -> tuple:
+        policy = get_policy(
+            self.config.hierarchy.replacement, context="HierarchyConfig.replacement"
+        )
         return stages.cell_key(
-            self.config.cache_key(), app_name, dataset, technique_name
+            self.config.cache_key(),
+            app_name,
+            dataset,
+            technique_name,
+            policy.cache_token(),
         )
 
     def cell(self, app_name: str, dataset: str, technique_name: str) -> CellResult:
@@ -431,8 +511,13 @@ class CellPipeline:
                 app_trace = self.app_trace(
                     app, app_name, dataset, technique_name, degree_kind, root
                 )
+                hot_blocks = self.hot_blocks_for(
+                    app, app_name, dataset, technique_name, degree_kind
+                )
                 with PROFILER.stage("simulate"):
-                    stats = simulate_trace(app_trace.trace, self.config.hierarchy)
+                    stats = simulate_trace(
+                        app_trace.trace, self.config.hierarchy, hot_blocks=hot_blocks
+                    )
             total_instr += app_trace.instructions
             total_accesses += stats.accesses
             total_l1m += stats.l1_misses

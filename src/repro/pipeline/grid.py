@@ -58,7 +58,9 @@ __all__ = ["run_grid", "plan_stage_jobs", "StageExecutor"]
 
 
 def plan_stage_jobs(
-    pipeline: CellPipeline, cells: list[tuple[str, str, str]]
+    pipeline: CellPipeline,
+    cells: list[tuple[str, str, str]],
+    policies: list[str] | None = None,
 ) -> tuple[list[tuple], list[tuple], list[tuple]]:
     """Derive the deduplicated stage jobs an uncached grid needs.
 
@@ -68,18 +70,26 @@ def plan_stage_jobs(
     *unique artifact address* not yet in the store.  Peeks use path
     existence only, so planning never perturbs the store statistics the
     exactly-once accounting is judged by.
+
+    With a ``policies`` axis, missing cells come back as 4-tuples
+    ``(app, dataset, technique, policy)`` in policy-outermost order.
+    Mapping and trace artifacts are policy-independent, so the dedup
+    sets collapse them across policies: N policies over the same cells
+    schedule exactly the stage jobs one policy would.
     """
     store = pipeline.store
-    missing = [
-        spec
-        for spec in cells
-        if not store.path_for("cell", pipeline.cell_store_key(*spec)).exists()
-    ]
+    missing: list[tuple] = []
+    for policy in policies or [None]:
+        view = pipeline.policy_view(policy)
+        for spec in cells:
+            if not store.path_for("cell", view.cell_store_key(*spec)).exists():
+                missing.append(spec if policies is None else (*spec, policy))
     mapping_jobs: list[tuple] = []
     trace_jobs: list[tuple] = []
     seen_mappings: set = set()
     seen_traces: set = set()
-    for app_name, dataset, technique_name in missing:
+    for spec in missing:
+        app_name, dataset, technique_name = spec[:3]
         degree_kind = pipeline.degree_kind_for(app_name, technique_name)
         if technique_name != "Original":
             mkey = pipeline.mapping_store_key(dataset, technique_name, degree_kind)
@@ -118,7 +128,8 @@ def _export_grid_graphs(
     if not missing:
         return [], None
     needed: dict[tuple, object] = {}
-    for app_name, dataset, _ in missing:
+    for spec in missing:
+        app_name, dataset = spec[0], spec[1]
         # Every cell touches the unweighted graph (roots, mappings);
         # SSSP cells additionally trace the weighted variant.
         needed[(dataset, False)] = None
@@ -146,6 +157,7 @@ def run_grid(
     techniques: list[str],
     workers: int | None = None,
     share_graphs: bool = True,
+    policies: list[str] | None = None,
 ) -> list[CellResult]:
     """All cells of the cross-product, scheduled at stage granularity.
 
@@ -153,27 +165,52 @@ def run_grid(
     shares the pipeline's artifact store (safe: writes are atomic and
     deterministic per key), so a parallel warm-up accelerates every
     later serial run against the same store.
+
+    ``policies`` adds a replacement-policy axis: results come back in
+    policy-outermost order (then apps, datasets, techniques as before),
+    each policy's cells simulated through
+    :meth:`CellPipeline.policy_view`.  Mappings and traces are
+    policy-independent, so the extra axis reuses every stage artifact
+    the first policy produced — only simulate/model re-run.
     """
     # Fail fast on misconfigured engine env vars — before any graph is
     # built or worker spawned, not mid-campaign in a worker traceback.
     PIPELINE.validate_engines()
     stages.fused_trace_budget()
+    if policies:
+        from repro import engines
+
+        for policy in policies:
+            engines.validate_policy(policy, context="run_grid policies")
     cells = list(itertools.product(apps, datasets, techniques))
+    full_cells: list[tuple] = (
+        cells
+        if not policies
+        else [(*spec, policy) for policy in policies for spec in cells]
+    )
     run = observability.current_run()
     if run is not None:
         run.set_config(pipeline.config)
         run.attach_store(pipeline.store)
-        run.add_grid(apps, datasets, techniques, workers)
+        run.add_grid(apps, datasets, techniques, workers, policies=policies)
     _PHASE["name"] = "plan"
     try:
         with TRACER.span(
-            "grid", kind="grid", cells=len(cells), workers=workers or 1
+            "grid", kind="grid", cells=len(full_cells), workers=workers or 1
         ):
             if workers is None or workers <= 1:
                 _PHASE["name"] = "cells"
-                results = [pipeline.cell(*spec) for spec in cells]
+                if policies:
+                    results = [
+                        pipeline.policy_view(spec[3]).cell(*spec[:3])
+                        for spec in full_cells
+                    ]
+                else:
+                    results = [pipeline.cell(*spec) for spec in cells]
             else:
-                results = _run_grid_parallel(pipeline, cells, workers, share_graphs)
+                results = _run_grid_parallel(
+                    pipeline, cells, workers, share_graphs, policies
+                )
     except Exception as exc:
         if run is not None:
             run.record_failure(_PHASE["name"], f"{type(exc).__name__}: {exc}")
@@ -195,13 +232,19 @@ def _run_grid_parallel(
     cells: list[tuple[str, str, str]],
     workers: int,
     share_graphs: bool,
+    policies: list[str] | None = None,
 ) -> list[CellResult]:
-    missing, mapping_jobs, trace_jobs = plan_stage_jobs(pipeline, cells)
+    missing, mapping_jobs, trace_jobs = plan_stage_jobs(pipeline, cells, policies)
     manifest = None
     handles: list = []
     if share_graphs:
         _PHASE["name"] = "share-graphs"
         handles, manifest = _export_grid_graphs(pipeline, missing)
+    full_cells: list[tuple] = (
+        cells
+        if not policies
+        else [(*spec, policy) for policy in policies for spec in cells]
+    )
     try:
         with StageExecutor(pipeline, workers, manifest=manifest) as executor:
             # Phase barriers are what make "exactly once" true: a phase's
@@ -213,7 +256,7 @@ def _run_grid_parallel(
             for future in [executor.submit_trace(*job) for job in trace_jobs]:
                 future.result()
             _PHASE["name"] = "cells"
-            futures = [executor.submit_cell(*spec) for spec in cells]
+            futures = [executor.submit_cell(*spec) for spec in full_cells]
             return [future.result() for future in futures]
     finally:
         # The name disappears now; the OS frees the memory when the
@@ -313,8 +356,11 @@ class StageExecutor:
     ) -> Future:
         return self.submit(_worker_trace, (app, dataset, technique, root))
 
-    def submit_cell(self, app: str, dataset: str, technique: str) -> Future:
-        return self.submit(_worker_cell, (app, dataset, technique))
+    def submit_cell(
+        self, app: str, dataset: str, technique: str, policy: str | None = None
+    ) -> Future:
+        spec = (app, dataset, technique)
+        return self.submit(_worker_cell, spec if policy is None else (*spec, policy))
 
     # -- lifecycle -----------------------------------------------------------
     def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
@@ -409,7 +455,11 @@ def _worker_trace(job: tuple) -> tuple:
     return None, job_deltas(*before)
 
 
-def _worker_cell(spec: tuple[str, str, str]) -> tuple:
+def _worker_cell(spec: tuple) -> tuple:
+    """One cell job: 3-tuple cell spec, optionally + a policy override."""
     before = job_snapshots()
-    result = _WORKER.cell(*spec)
+    if len(spec) == 4:
+        result = _WORKER.policy_view(spec[3]).cell(*spec[:3])
+    else:
+        result = _WORKER.cell(*spec)
     return result, job_deltas(*before)

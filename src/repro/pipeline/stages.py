@@ -228,10 +228,21 @@ def trace_key(
     return (scale, app_name, dataset, technique_token, root)
 
 
-def cell_key(config_key: tuple, app_name: str, dataset: str, technique_name: str) -> tuple:
+def cell_key(
+    config_key: tuple,
+    app_name: str,
+    dataset: str,
+    technique_name: str,
+    policy_token: object = None,
+) -> tuple:
     """Address of a finished cell result (counters + modelled cycles).
 
     ``config_key`` is :meth:`ExperimentConfig.cache_key` — everything the
-    simulated counters and modelled cycles depend on.
+    simulated counters and modelled cycles depend on.  ``policy_token``
+    is the replacement policy's full semantic identity
+    (:meth:`ReplacementPolicy.cache_token`): the config key already
+    carries the policy *name*, but folding the behavioural flags means a
+    redefined policy re-addresses every cell simulated under it instead
+    of serving stale counters.
     """
-    return (config_key, app_name, dataset, technique_name)
+    return (config_key, app_name, dataset, technique_name, policy_token)

@@ -83,7 +83,8 @@ __all__ = [
 
 #: Folded into every artifact address; bump whenever a change invalidates
 #: previously persisted artifacts (continues the old DiskCache lineage).
-SCHEMA_VERSION = 10
+#: v11: cell keys grew the replacement-policy token (policy registry).
+SCHEMA_VERSION = 11
 
 #: On-disk artifact name: ``{kind}-{digest}.pkl``.
 _ARTIFACT_RE = re.compile(r"^([a-z][a-z0-9_]*)-([0-9a-f]{32})\.pkl$")

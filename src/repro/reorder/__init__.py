@@ -17,6 +17,7 @@ from repro.reorder.identity import Original
 from repro.reorder.sort import Sort
 from repro.reorder.hubsort import HubSort, HubSortOriginal
 from repro.reorder.hubcluster import HubCluster, HubClusterOriginal
+from repro.reorder.boba import BOBA, boba_order
 from repro.reorder.dbg import DBG, dbg_boundaries, dbg_mapping
 from repro.reorder.random_order import RandomVertex, RandomCacheBlock
 from repro.reorder.gorder import Gorder
@@ -38,6 +39,8 @@ __all__ = [
     "DBG",
     "dbg_boundaries",
     "dbg_mapping",
+    "BOBA",
+    "boba_order",
     "RandomVertex",
     "RandomCacheBlock",
     "Gorder",

@@ -9,6 +9,7 @@ reorderings of Section III-B).
 from __future__ import annotations
 
 from repro.reorder.base import ReorderingTechnique
+from repro.reorder.boba import BOBA
 from repro.reorder.dbg import DBG
 from repro.reorder.gorder import Gorder
 from repro.reorder.hubcluster import HubCluster, HubClusterOriginal
@@ -30,6 +31,7 @@ TECHNIQUES: dict[str, type[ReorderingTechnique] | object] = {
     "HubCluster": HubCluster,
     "HubCluster-O": HubClusterOriginal,
     "DBG": DBG,
+    "BOBA": BOBA,
     "Gorder": Gorder,
     "RandomVertex": RandomVertex,
     "BFS": BFSOrder,

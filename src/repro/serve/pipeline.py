@@ -29,6 +29,7 @@ import hashlib
 import numpy as np
 
 from repro.cachesim import CacheGeometry, HierarchyConfig
+from repro.cachesim.policies import get_policy
 from repro.graph.builder import from_edges
 from repro.graph.csr import Graph
 from repro.pipeline.cells import CellPipeline, ExperimentConfig
@@ -52,7 +53,10 @@ UPLOAD_PREFIX = "upload:"
 UPLOAD_KIND = "upload"
 
 #: ``config_spec`` keys an ``analyze`` request may override, mapped to
-#: how they apply to the base :class:`ExperimentConfig`.
+#: how they apply to the base :class:`ExperimentConfig`.  ``policy`` is
+#: a client-facing alias for ``replacement`` (the registry vocabulary);
+#: it is normalized away during canonicalization so the two spellings
+#: coalesce onto the same artifact address.
 _CONFIG_SPEC_KEYS = (
     "scale",
     "num_roots",
@@ -60,6 +64,7 @@ _CONFIG_SPEC_KEYS = (
     "l2_bytes",
     "l3_bytes",
     "replacement",
+    "policy",
 )
 
 
@@ -161,6 +166,9 @@ def canonical_config_spec(spec: dict | None) -> tuple | None:
 
     Unknown keys are rejected here — at admission, with a client-facing
     error — rather than surfacing as a worker traceback mid-compute.
+    The ``policy`` alias folds into ``replacement`` and the policy name
+    is resolved against the replacement-policy registry, so a typo'd
+    policy is a 400 at admission, not a worker traceback.
     """
     if not spec:
         return None
@@ -169,6 +177,20 @@ def canonical_config_spec(spec: dict | None) -> tuple | None:
         raise ValueError(
             f"unknown config override(s) {unknown}; allowed: {list(_CONFIG_SPEC_KEYS)}"
         )
+    spec = dict(spec)
+    policy = spec.pop("policy", None)
+    if policy is not None:
+        existing = spec.get("replacement")
+        if existing is not None and existing != policy:
+            raise ValueError(
+                f"conflicting policy overrides: policy={policy!r} vs "
+                f"replacement={existing!r}"
+            )
+        spec["replacement"] = policy
+    if spec.get("replacement") is not None:
+        get_policy(str(spec["replacement"]), context="config override 'policy'")
+    if not spec:
+        return None
     return tuple(sorted(spec.items()))
 
 
@@ -179,7 +201,8 @@ def config_from_spec(
     if not spec:
         return base
     overrides = dict(spec if isinstance(spec, dict) else list(spec))
-    canonical_config_spec(overrides)  # validate keys
+    canonical = canonical_config_spec(overrides)  # validate + fold aliases
+    overrides = dict(canonical or ())
     hierarchy = base.hierarchy
     geoms = {"l1": hierarchy.l1, "l2": hierarchy.l2, "l3": hierarchy.l3}
     for level, geom in geoms.items():

@@ -14,8 +14,10 @@ Endpoints (JSON in / JSON out):
   priority?, include_mapping?}`` → permutation summary (optionally the
   permutation itself).
 * ``POST /v1/analyze`` — ``{graph, technique, app, tenant?, config?,
-  priority?}`` → full cache-analysis cell result (MPKI, miss breakdown,
-  modelled cycles).
+  policy?, priority?}`` → full cache-analysis cell result (MPKI, miss
+  breakdown, modelled cycles).  ``policy`` is shorthand for
+  ``config.replacement`` — any registered replacement policy
+  (``lru``/``fifo``/``lip``/``grasp``/...), validated at admission.
 * ``GET /v1/stats`` — scheduler + store counters (``?usage=1`` adds the
   per-namespace on-disk accounting).
 * ``GET /healthz`` — liveness.
@@ -309,8 +311,14 @@ class ReorderService:
         technique = body.get("technique")
         if not graph or not technique:
             raise HttpError(400, "'graph' and 'technique' are required")
+        spec = dict(body.get("config") or {})
+        if body.get("policy") is not None:
+            # Top-level shorthand for the common sweep axis; folded into
+            # the config spec so it shares addressing/coalescing with the
+            # equivalent {"config": {"policy": ...}} request.
+            spec.setdefault("policy", body["policy"])
         try:
-            config_spec = canonical_config_spec(body.get("config"))
+            config_spec = canonical_config_spec(spec)
         except ValueError as exc:
             raise HttpError(400, str(exc)) from None
         namespace = tenant if graph.startswith(UPLOAD_PREFIX) else None

@@ -18,6 +18,12 @@ resolution the experiment runner uses.  Tenant namespaces (``ns/<t>/``
 subdirectories, populated by the serving layer) are reported by
 ``stats``, listable via ``ls --namespace``, and garbage-collectable in
 isolation via ``gc --namespace``.
+
+Artifact addresses fold in the store schema version (``stats`` prints
+it), so a version bump orphans stale artifacts rather than replaying
+them — v11 re-addressed every cell result when cell keys grew the
+replacement-policy token (the policy registry); pre-v11 cells simply
+miss and the files are reclaimed by ``gc``.
 """
 
 from __future__ import annotations

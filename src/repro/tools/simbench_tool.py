@@ -51,6 +51,8 @@ from repro.cachesim import (
     DEFAULT_HIERARCHY,
     HierarchyConfig,
     fast_available,
+    get_policy,
+    policy_names,
     simulate_trace,
 )
 from repro.framework import fasttrace
@@ -548,11 +550,14 @@ def time_engines(
     engines: list[str],
     repeats: int = 1,
     threads: int = 1,
+    hot_blocks: np.ndarray | None = None,
 ) -> dict:
     """Best-of-``repeats`` wall time per engine; asserts identical counters.
 
     ``threads`` applies to the ``fast-threaded`` engine only (others run
-    their usual serial kernels).
+    their usual serial kernels).  ``hot_blocks`` feeds skew-aware
+    policies (``grasp``) the hot-block classification; it is passed to
+    every engine so the bit-identity assertion covers protection too.
     """
     results: dict = {"engines": {}, "threads": threads}
     reference_stats = None
@@ -562,7 +567,10 @@ def time_engines(
         stats = None
         for _ in range(repeats):
             start = time.perf_counter()
-            stats = simulate_trace(trace, config, engine=engine, threads=workers)
+            stats = simulate_trace(
+                trace, config, engine=engine, threads=workers,
+                hot_blocks=hot_blocks,
+            )
             best = min(best, time.perf_counter() - start)
         if reference_stats is None:
             reference_stats = stats
@@ -617,7 +625,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--runs", type=int, default=500_000,
                         help="compressed trace runs to simulate (sim bench)")
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--policy", choices=["lru", "fifo", "lip"], default="lru")
+    parser.add_argument("--policy", choices=list(policy_names()), default="lru",
+                        help="replacement policy for the sim bench (skew-aware "
+                             "policies get the zipf head as hot blocks)")
     parser.add_argument("--repeats", type=int, default=2,
                         help="timing repeats per engine (best is kept)")
     parser.add_argument("--engines", nargs="+", default=None,
@@ -658,12 +668,19 @@ def main(argv: list[str] | None = None) -> int:
             replacement=args.policy,
         )
         trace = make_microbench_trace(args.runs, seed=args.seed)
+        hot_blocks = None
+        if get_policy(args.policy, context="--policy").needs_hot_blocks:
+            # The zipf(1.2) % 4096 irregular stream concentrates reuse on
+            # low block IDs, so the low-ID head is the natural hot set.
+            hot_blocks = np.arange(64, dtype=np.int64)
         print(
             f"sim trace: {len(trace):,} runs / {trace.total_accesses:,} accesses, "
             f"policy={args.policy}"
+            + (f" ({hot_blocks.size} hot blocks)" if hot_blocks is not None else "")
         )
         results = time_engines(
-            trace, config, engines, repeats=args.repeats, threads=args.threads
+            trace, config, engines, repeats=args.repeats, threads=args.threads,
+            hot_blocks=hot_blocks,
         )
         for engine, row in results["engines"].items():
             print(

@@ -37,3 +37,14 @@ class TestMain:
         out = capsys.readouterr().out
         assert code == 0
         assert "Tables IX/X" in out and "Table II" in out
+
+    def test_policy_flag_threads_through(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code = main(["table9_10", "--scale", "0.2", "--policy", "lip"])
+        assert code == 0
+
+    def test_unknown_policy_rejected(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        with pytest.raises(SystemExit):
+            main(["table9_10", "--policy", "srrip"])
+        assert "registered policies" in capsys.readouterr().err

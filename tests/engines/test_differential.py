@@ -28,6 +28,7 @@ from hypothesis import strategies as st
 
 from repro import engines
 from repro.cachesim import CacheGeometry, HierarchyConfig, simulate_trace
+from repro.cachesim.policies import policy_names
 from repro.framework.trace import AddressSpace, MemoryTrace, TraceBuilder
 from repro.graph import from_edges
 from repro.graph.csr import _build_dual_csr
@@ -83,14 +84,35 @@ def random_traces(draw):
 
 @st.composite
 def hierarchy_configs(draw):
-    """Tiny hierarchies (so evictions and snoops actually happen)."""
+    """Tiny hierarchies (so evictions and snoops actually happen).
+
+    The replacement policy is drawn from the live registry, so every
+    registered policy — including future ones — is differentially
+    verified without touching this suite.
+    """
     return HierarchyConfig(
         l1=CacheGeometry(512, 2),
         l2=CacheGeometry(2048, 4),
         l3=CacheGeometry(8192, 8),
-        replacement=draw(st.sampled_from(["lru", "fifo", "lip"])),
+        replacement=draw(st.sampled_from(sorted(policy_names()))),
         ownership_blocks=draw(st.sampled_from([None, 4, 16, 0])),
     )
+
+
+@st.composite
+def hot_block_sets(draw):
+    """Hot-block classifications over the trace block range (or none).
+
+    Passed to *every* policy: non-protecting policies must ignore the
+    set identically in both engines, and ``grasp`` must protect it
+    identically.
+    """
+    if not draw(st.booleans()):
+        return None
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    count = draw(st.integers(min_value=0, max_value=64))
+    rng = np.random.default_rng(seed)
+    return np.unique(rng.integers(0, 400, size=count).astype(np.int64))
 
 
 @st.composite
@@ -117,9 +139,10 @@ def keyed_streams(draw):
 
 # -- the differential assertions ---------------------------------------------
 
-def sim_counters(trace, config, engine):
+def sim_counters(trace, config, engine, hot_blocks=None):
     stats = simulate_trace(
-        trace, config, engine=engine, threads=_threads_for(engine)
+        trace, config, engine=engine, threads=_threads_for(engine),
+        hot_blocks=hot_blocks,
     )
     return (
         stats.accesses,
@@ -147,12 +170,12 @@ def assert_graphs_bitwise_equal(a, b) -> None:
 class TestDifferential:
     """reference vs <engine>, all four kernel families."""
 
-    @given(trace=random_traces(), config=hierarchy_configs())
+    @given(trace=random_traces(), config=hierarchy_configs(), hot=hot_block_sets())
     @settings(max_examples=40, deadline=None)
-    def test_simulate(self, engine, trace, config):
+    def test_simulate(self, engine, trace, config, hot):
         _needs("sim", engine)
-        assert sim_counters(trace, config, engine) == sim_counters(
-            trace, config, "reference"
+        assert sim_counters(trace, config, engine, hot_blocks=hot) == sim_counters(
+            trace, config, "reference", hot_blocks=hot
         )
 
     @given(data=keyed_streams())

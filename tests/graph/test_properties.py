@@ -5,6 +5,8 @@ import pytest
 
 from repro.graph import from_edges
 from repro.graph.properties import (
+    compression_ratio,
+    gap_encoded_adjacency_bytes,
     hot_degree_distribution,
     hot_footprint_bytes,
     hot_mask,
@@ -109,3 +111,39 @@ class TestLocalityScore:
         rng = np.random.default_rng(0)
         shuffled = g.relabel(rng.permutation(g.num_vertices))
         assert locality_score(shuffled) < locality_score(g) / 2
+
+
+class TestCompressionRatio:
+    def test_chain_encodes_one_byte_per_edge(self):
+        # Each row's single neighbor is v+1: zigzag(+1) = 2, one varint byte.
+        g = from_edges(10, np.array([(v, v + 1) for v in range(9)]))
+        assert gap_encoded_adjacency_bytes(g, kind="out") == 9
+        assert compression_ratio(g, kind="out") == pytest.approx(4.0 * 9 / 9)
+
+    def test_large_gaps_need_more_bytes(self):
+        near = from_edges(1 << 16, np.array([(0, 1)]))
+        far = from_edges(1 << 16, np.array([(0, 40_000)]))
+        assert gap_encoded_adjacency_bytes(far) > gap_encoded_adjacency_bytes(near)
+        assert compression_ratio(far) < compression_ratio(near)
+
+    def test_empty_graph_ratio_is_one(self):
+        g = from_edges(4, np.empty((0, 2)))
+        assert gap_encoded_adjacency_bytes(g) == 0
+        assert compression_ratio(g) == 1.0
+
+    def test_rejects_unknown_kind(self):
+        g = from_edges(4, np.array([(0, 1)]))
+        with pytest.raises(ValueError):
+            gap_encoded_adjacency_bytes(g, kind="sideways")
+
+    def test_locality_ordering_compresses_better(self, tiny_community_graph):
+        """The figure of merit tracks locality: shuffling inflates the gaps."""
+        g = tiny_community_graph
+        shuffled = g.relabel(np.random.default_rng(0).permutation(g.num_vertices))
+        assert gap_encoded_adjacency_bytes(g) < gap_encoded_adjacency_bytes(shuffled)
+        assert compression_ratio(g) > compression_ratio(shuffled)
+
+    def test_in_and_out_kinds_cover_same_edges(self, paper_graph):
+        # Both encodings cover E edges; byte counts differ but are positive.
+        for kind in ("in", "out"):
+            assert gap_encoded_adjacency_bytes(paper_graph, kind=kind) > 0

@@ -26,11 +26,15 @@ from repro.pipeline.cells import CellPipeline, ExperimentConfig
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
 #: One representative cell per app family: iterative (PR), unweighted
-#: traversal (BFS), weighted traversal with root sampling (SSSP).
+#: traversal (BFS), weighted traversal with root sampling (SSSP) — plus
+#: one skew-aware-policy cell (``grasp`` protects hot property blocks,
+#: so its exact counters pin the hot-classification + protection path).
+#: ``None`` policy means the config default (lru).
 CELLS = [
-    ("PR", "wl", "DBG"),
-    ("BFS", "wl", "HubSort"),
-    ("SSSP", "wl", "Sort"),
+    ("PR", "wl", "DBG", None),
+    ("BFS", "wl", "HubSort", None),
+    ("SSSP", "wl", "Sort", None),
+    ("PR", "sd", "DBG", "grasp"),
 ]
 
 #: Floats in the result (modelled cycles, MPKI) are derived from integer
@@ -39,16 +43,25 @@ CELLS = [
 FLOAT_RTOL = 1e-9
 
 
-def fixture_path(app: str, dataset: str, technique: str) -> Path:
-    return GOLDEN_DIR / f"{app.lower()}_{dataset}_{technique.lower()}.json"
+def fixture_path(
+    app: str, dataset: str, technique: str, policy: str | None = None
+) -> Path:
+    suffix = f"_{policy}" if policy else ""
+    return GOLDEN_DIR / f"{app.lower()}_{dataset}_{technique.lower()}{suffix}.json"
 
 
-def compute_cell(tmp_path: Path, app: str, dataset: str, technique: str) -> dict:
+def compute_cell(
+    tmp_path: Path,
+    app: str,
+    dataset: str,
+    technique: str,
+    policy: str | None = None,
+) -> dict:
     pipeline = CellPipeline(
         ExperimentConfig(scale=0.25, num_roots=1),
         store=ArtifactStore(tmp_path / "store"),
     )
-    result = pipeline.cell(app, dataset, technique)
+    result = pipeline.policy_view(policy).cell(app, dataset, technique)
     return {name: getattr(result, name) for name in result.__dataclass_fields__}
 
 
@@ -71,10 +84,10 @@ def assert_matches_golden(actual, golden, path="result"):
         assert actual == golden, path
 
 
-@pytest.mark.parametrize("app,dataset,technique", CELLS)
-def test_golden_cell(app, dataset, technique, tmp_path, request):
-    path = fixture_path(app, dataset, technique)
-    actual = compute_cell(tmp_path, app, dataset, technique)
+@pytest.mark.parametrize("app,dataset,technique,policy", CELLS)
+def test_golden_cell(app, dataset, technique, policy, tmp_path, request):
+    path = fixture_path(app, dataset, technique, policy)
+    actual = compute_cell(tmp_path, app, dataset, technique, policy)
     if request.config.getoption("--update-golden"):
         GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n")

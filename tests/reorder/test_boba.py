@@ -1,0 +1,79 @@
+"""BOBA (order-by-appearance) semantics and the bucket invariant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reorder import BOBA, TECHNIQUES, boba_order, make_technique
+from tests.conftest import make_random_graph
+
+
+def is_permutation(mapping, n):
+    return sorted(mapping.tolist()) == list(range(n))
+
+
+class TestBobaOrder:
+    def test_first_appearance_order(self):
+        stream = np.array([3, 1, 3, 0, 1, 4])
+        assert boba_order(stream).tolist() == [3, 1, 0, 4]
+
+    def test_empty_stream(self):
+        order = boba_order(np.array([], dtype=np.int64))
+        assert order.size == 0 and order.dtype == np.int64
+
+    def test_rejects_nonpositive_bucket(self):
+        with pytest.raises(ValueError, match="bucket_edges"):
+            boba_order(np.array([1, 2]), bucket_edges=0)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        length=st.integers(min_value=0, max_value=600),
+        bucket=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bucket_count_invariant(self, seed, length, bucket):
+        """The parallelization contract: any chunking, same global order."""
+        stream = np.random.default_rng(seed).integers(0, 50, size=length)
+        expected = boba_order(stream, bucket_edges=stream.size + 1 or 1)
+        assert np.array_equal(boba_order(stream, bucket_edges=bucket), expected)
+
+
+class TestBobaTechnique:
+    def test_registered(self):
+        assert "BOBA" in TECHNIQUES
+        technique = make_technique("BOBA", degree_kind="in")
+        assert isinstance(technique, BOBA)
+        assert technique.name == "BOBA"
+        assert not technique.skew_aware
+
+    def test_mapping_is_permutation(self):
+        graph = make_random_graph(num_vertices=40, num_edges=120, seed=5)
+        for kind in ("out", "in", "both"):
+            mapping = BOBA(degree_kind=kind).compute_mapping(graph)
+            assert is_permutation(mapping, graph.num_vertices)
+
+    def test_appearance_order_out_stream(self):
+        graph = make_random_graph(num_vertices=30, num_edges=90, seed=9)
+        mapping = BOBA(degree_kind="out").compute_mapping(graph)
+        appeared = boba_order(graph.out_targets)
+        # Vertices that appear in the stream get the first slots, in order.
+        assert np.array_equal(mapping[appeared], np.arange(appeared.size))
+
+    def test_unseen_vertices_appended_ascending(self):
+        graph = make_random_graph(num_vertices=50, num_edges=30, seed=2)
+        mapping = BOBA(degree_kind="out").compute_mapping(graph)
+        appeared = boba_order(graph.out_targets)
+        unseen = np.setdiff1d(np.arange(graph.num_vertices), appeared)
+        tail = mapping[unseen]
+        assert np.all(np.diff(tail) > 0), "unseen vertices must keep ID order"
+        assert tail.min() == appeared.size
+
+    def test_relabel_roundtrip(self):
+        graph = make_random_graph(num_vertices=25, num_edges=80, seed=3)
+        mapping = BOBA().compute_mapping(graph)
+        relabelled = graph.relabel(mapping)
+        assert relabelled.num_edges == graph.num_edges
+        assert np.array_equal(
+            np.sort(graph.out_degrees()), np.sort(relabelled.out_degrees())
+        )

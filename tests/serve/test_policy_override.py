@@ -1,0 +1,97 @@
+"""The ``policy`` override through the serve layer: addressing + admission."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.pipeline.cells import ExperimentConfig
+from repro.pipeline.store import ArtifactStore
+from repro.serve.client import ServeClient
+from repro.serve.pipeline import canonical_config_spec
+from repro.serve.server import ReorderService
+
+SCALE = 0.05
+
+
+def boot(tmp_path, **kwargs):
+    kwargs.setdefault("workers", 2)
+    return ReorderService(
+        config=ExperimentConfig(scale=SCALE, num_roots=1),
+        store=ArtifactStore(tmp_path / "store"),
+        **kwargs,
+    )
+
+
+class TestCanonicalSpec:
+    def test_policy_alias_folds_into_replacement(self):
+        assert canonical_config_spec({"policy": "lip"}) == canonical_config_spec(
+            {"replacement": "lip"}
+        )
+
+    def test_matching_duplicate_allowed_conflict_rejected(self):
+        spec = canonical_config_spec({"policy": "lip", "replacement": "lip"})
+        assert spec == (("replacement", "lip"),)
+        with pytest.raises(ValueError, match="conflicting"):
+            canonical_config_spec({"policy": "lip", "replacement": "lru"})
+
+    def test_unknown_policy_rejected_at_admission(self):
+        with pytest.raises(ValueError, match="registered policies"):
+            canonical_config_spec({"policy": "srrip"})
+
+    def test_default_policy_canonicalizes_to_override(self):
+        # Explicitly requesting a policy is an override even if it matches
+        # the server default; only an absent spec means "defaults".
+        assert canonical_config_spec({"policy": "lru"}) == (("replacement", "lru"),)
+        assert canonical_config_spec(None) is None
+        assert canonical_config_spec({}) is None
+
+
+def test_policy_override_end_to_end(tmp_path):
+    async def scenario():
+        service = boot(tmp_path)
+        await service.start()
+        try:
+            async with ServeClient(service.host, service.port) as client:
+                base_req = {"graph": "uni", "technique": "DBG", "app": "PR"}
+                status, base = await client.post("/v1/analyze", base_req)
+                assert status == 200
+
+                # Top-level policy shorthand: distinct artifact per policy.
+                artifacts = {base["meta"]["artifact"]}
+                results = {}
+                for policy in ("lip", "grasp"):
+                    status, body = await client.post(
+                        "/v1/analyze", {**base_req, "policy": policy}
+                    )
+                    assert status == 200
+                    assert body["meta"]["source"] == "cold"
+                    artifacts.add(body["meta"]["artifact"])
+                    results[policy] = body
+                assert len(artifacts) == 3, "policy cells alias one address"
+
+                # The config-spec spelling lands on the same artifact
+                # (and therefore serves warm, never re-computing).
+                status, spelled = await client.post(
+                    "/v1/analyze",
+                    {**base_req, "config": {"replacement": "grasp"}},
+                )
+                assert status == 200
+                assert spelled["meta"]["source"] == "warm"
+                assert (
+                    spelled["meta"]["artifact"]
+                    == results["grasp"]["meta"]["artifact"]
+                )
+                assert spelled["result"] == results["grasp"]["result"]
+
+                # Unknown policies are a 400 at admission, not a worker error.
+                status, err = await client.post(
+                    "/v1/analyze", {**base_req, "policy": "srrip"}
+                )
+                assert status == 400
+                assert "registered policies" in err["error"]
+        finally:
+            await service.stop()
+
+    asyncio.run(scenario())

@@ -123,3 +123,23 @@ class TestGenerateTool:
     def test_unknown_target_rejected(self, tmp_path):
         with pytest.raises(SystemExit):
             generate_main(["not-a-dataset", "-o", str(tmp_path / "x.npz")])
+
+
+class TestSimbenchPolicy:
+    def test_grasp_policy_microbench(self, capsys):
+        """The sim bench feeds grasp a hot set and gates engine parity."""
+        from repro.tools.simbench_tool import main as simbench_main
+
+        code = simbench_main(
+            ["--bench", "sim", "--runs", "20000", "--repeats", "1",
+             "--policy", "grasp"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "policy=grasp" in out and "hot blocks" in out
+
+    def test_unknown_policy_rejected(self):
+        from repro.tools.simbench_tool import main as simbench_main
+
+        with pytest.raises(SystemExit):
+            simbench_main(["--policy", "srrip"])
