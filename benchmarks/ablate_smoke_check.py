@@ -1,0 +1,125 @@
+"""CI gate: the smoke ablation suite is reproducible and warm-replayable.
+
+Executes ``repro-ablate``'s smoke suite twice against one shared
+artifact store (separate runs directories and report paths), then
+asserts the whole acceptance contract:
+
+* **identical run ids** — the content-derived ids enumerate to the same
+  values in both passes (and match a fresh enumeration);
+* **byte-identical reports** — ``ablation_report.json`` from the two
+  passes compares equal byte-for-byte, ranking order included;
+* **cold pass recomputed** — the first pass records recompute spans
+  (it did real pipeline work);
+* **warm replay** — in the second pass every store-backed run records
+  *zero* recompute spans; only the ``store-off`` ablation (whose whole
+  point is running without persistence) recomputes.
+
+Emits ``BENCH_ablate_smoke.json`` with per-run metrics and span counts.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/ablate_smoke_check.py [--workers N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.analysis.ablate import (
+    build_report,
+    enumerate_runs,
+    execute_suite,
+    suite_by_name,
+    write_report,
+)
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_ablate_smoke.json"
+
+
+def run_pass(label: str, suite, store_dir: Path, work: Path):
+    outcomes = execute_suite(
+        suite, store_dir=store_dir, runs_root=work / f"runs-{label}"
+    )
+    report_path = write_report(
+        build_report(suite, outcomes), work / f"report-{label}.json"
+    )
+    spans = {o.run.name: o.recompute_spans for o in outcomes}
+    print(f"[{label}] recompute spans per run: {spans}")
+    return outcomes, report_path, spans
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    suite = suite_by_name("smoke")
+    enumerated = [(r.name, r.run_id) for r in enumerate_runs(suite)]
+
+    with tempfile.TemporaryDirectory(prefix="ablate-smoke-check-") as tmp:
+        work = Path(tmp)
+        store_dir = work / "store"
+
+        cold, cold_report, cold_spans = run_pass("cold", suite, store_dir, work)
+        warm, warm_report, warm_spans = run_pass("warm", suite, store_dir, work)
+
+        cold_ids = [(o.run.name, o.run.run_id) for o in cold]
+        warm_ids = [(o.run.name, o.run.run_id) for o in warm]
+        assert cold_ids == warm_ids == enumerated, (
+            "run ids diverged between enumeration and the two passes"
+        )
+
+        cold_bytes = cold_report.read_bytes()
+        assert cold_bytes == warm_report.read_bytes(), (
+            "ablation reports are not byte-identical across passes"
+        )
+        ranking = json.loads(cold_bytes)["ranking"]
+
+        store_backed = [
+            o.run.name for o in cold
+            if not (o.run.ablation and o.run.ablation.ephemeral_store)
+        ]
+        assert sum(cold_spans[n] for n in store_backed) > 0, (
+            "cold pass recorded no pipeline work — the gate is vacuous"
+        )
+        for name in store_backed:
+            assert warm_spans[name] == 0, (
+                f"warm pass recomputed {warm_spans[name]} stage spans in {name}"
+            )
+        ephemeral = set(cold_spans) - set(store_backed)
+        for name in ephemeral:
+            assert warm_spans[name] > 0, (
+                f"{name} runs without a store and must always recompute"
+            )
+
+        payload = {
+            "suite": suite.name,
+            "runs": [
+                {
+                    "name": name,
+                    "run_id": run_id,
+                    "cold_recompute_spans": cold_spans[name],
+                    "warm_recompute_spans": warm_spans[name],
+                }
+                for name, run_id in enumerated
+            ],
+            "ranking": ranking,
+            "report_bytes": len(cold_bytes),
+        }
+
+    BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"ranking: {ranking}")
+    print(
+        f"ok: {len(enumerated)} runs, ids stable, reports byte-identical, "
+        f"{len(store_backed)} store-backed runs warm-replayed with zero recomputes"
+    )
+    print(f"wrote {BENCH_PATH.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

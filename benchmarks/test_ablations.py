@@ -114,6 +114,24 @@ def test_ablation_degree_kind(benchmark, runner, archive):
         assert value > 5.0
 
 
+def test_ablation_diameter(benchmark, runner, archive):
+    result = benchmark.pedantic(
+        lambda: ablations.diameter_sweep(runner), rounds=1, iterations=1
+    )
+    archive("ablation_diameter", result)
+    header = result["headers"]
+    by_dataset = {row[0]: row for row in result["rows"]}
+    low, high = by_dataset["swl"], by_dataset["swh"]
+    diam_idx = header.index("diam~")
+    dbg_idx = header.index("DBG")
+    # The two analogs share the degree sequence; only diameter differs.
+    assert high[diam_idx] > 10 * low[diam_idx]
+    # Satav et al.'s direction: the reordering benefit shrinks (here:
+    # inverts) as diameter grows — skew alone is not sufficient.
+    assert low[dbg_idx] > 5.0
+    assert high[dbg_idx] < low[dbg_idx] - 10.0
+
+
 def test_ablation_gorder_window(benchmark, runner, archive):
     result = benchmark.pedantic(
         lambda: ablations.gorder_window_sweep(runner), rounds=1, iterations=1

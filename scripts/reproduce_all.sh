@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# One-command reproduction: regenerate the paper's tables/figures and the
+# component-ablation report from a clean checkout into a hashed bundle.
+#
+#   scripts/reproduce_all.sh                 # full tier (paper scale)
+#   scripts/reproduce_all.sh --smoke         # CI tier: minutes, tiny grids
+#   scripts/reproduce_all.sh --out DIR       # bundle destination (default ./bundle)
+#   scripts/reproduce_all.sh --scale 0.5     # override dataset scale (full tier)
+#   scripts/reproduce_all.sh --workers 4     # grid pre-warm worker processes
+#
+# The bundle directory ends up with:
+#   report.md              markdown rendering of every regenerated table/figure
+#   ablation_report.json   byte-deterministic repro-ablate ranking
+#   runs/                  observed run manifests (span timings, cache stats)
+#   bundle_manifest.json   provenance: git SHA, engine resolution, versions
+#   sha256_index.txt       per-artifact sha256 index (sha256sum -c format)
+#
+# Verify later with either of:
+#   python -m repro.analysis.bundle verify DIR
+#   (cd DIR && sha256sum -c sha256_index.txt)
+#
+# The artifact store is kept OUTSIDE the bundle (REPRO_CACHE_DIR, default
+# ./.repro_cache) so re-running against a warm store replays every stage
+# without recomputation and the bundle stays small.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SMOKE=0
+OUT="bundle"
+SCALE=""
+WORKERS=1
+
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --smoke) SMOKE=1; shift ;;
+        --out) OUT="$2"; shift 2 ;;
+        --scale) SCALE="$2"; shift 2 ;;
+        --workers) WORKERS="$2"; shift 2 ;;
+        -h|--help) grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+        *) echo "unknown argument: $1" >&2; exit 2 ;;
+    esac
+done
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+export REPRO_CACHE_DIR="${REPRO_CACHE_DIR:-$PWD/.repro_cache}"
+
+mkdir -p "$OUT"
+case "$OUT" in
+    /*) OUT_ABS="$OUT" ;;
+    *) OUT_ABS="$PWD/$OUT" ;;
+esac
+if [[ "$REPRO_CACHE_DIR" == "$OUT_ABS"* ]]; then
+    echo "error: REPRO_CACHE_DIR must lie outside the bundle directory" >&2
+    exit 2
+fi
+
+if [[ "$SMOKE" == 1 ]]; then
+    # CI tier: the cheap characterization tables plus the smoke ablation
+    # suite -- small scale, one root, minutes of wall clock.
+    SCALE="${SCALE:-0.2}"
+    EXPERIMENTS=(table9_10 table1 table2 table4 table5)
+    ROOTS=1
+    SUITE=smoke
+else
+    SCALE="${SCALE:-1.0}"
+    EXPERIMENTS=(all)
+    ROOTS=2
+    SUITE=full
+fi
+
+echo "== reproduce_all: tier=$([[ $SMOKE == 1 ]] && echo smoke || echo full)" \
+     "scale=$SCALE out=$OUT store=$REPRO_CACHE_DIR"
+
+echo "== [1/3] tables & figures"
+python -m repro.analysis.cli "${EXPERIMENTS[@]}" \
+    --scale "$SCALE" --roots "$ROOTS" --workers "$WORKERS" \
+    --output "$OUT/report.md" --run-dir "$OUT/runs"
+
+echo "== [2/3] component ablations ($SUITE suite)"
+python -m repro.tools.ablate_tool run --suite "$SUITE" \
+    --runs-dir "$OUT/runs" --report "$OUT/ablation_report.json" \
+    ${WORKERS:+--workers "$WORKERS"}
+
+echo "== [3/3] sealing bundle"
+python -m repro.analysis.bundle index "$OUT"
+python -m repro.analysis.bundle verify "$OUT"
+
+echo "bundle ready: $OUT"

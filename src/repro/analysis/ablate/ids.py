@@ -1,0 +1,93 @@
+"""Content-derived run identifiers for ablation runs.
+
+A run id must identify *what was measured*, not *when* or *in which
+order*: two processes enumerating the same suite — in any order, with
+spec dicts built in any key order — must assign every run the same id,
+and runs with different content must never share one.  That makes run
+directories and report entries join keys rather than timestamps: a warm
+re-execution lands in the same ``runs/<run_id>/`` directory and the
+report diff is exact.
+
+The scheme: recursively canonicalize the spec (sorted dict keys,
+sequences as lists, numpy scalars unboxed), serialize to the tightest
+JSON form, and take a truncated SHA-256.  16 hex digits (64 bits) keeps
+collision probability for a realistic suite (< 10^4 runs) below 1e-11
+while staying short enough for directory names and log lines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import is_dataclass, fields
+
+__all__ = ["canonical", "canonical_json", "spec_digest", "run_id", "RUN_ID_LENGTH"]
+
+#: Hex digits kept from the full SHA-256 digest.
+RUN_ID_LENGTH = 16
+
+
+def canonical(value):
+    """Reduce ``value`` to a canonical JSON-representable form.
+
+    * mappings -> dicts with string keys (sorted at serialization time);
+    * lists / tuples / sets / frozensets -> lists (sets sorted by their
+      canonical JSON form so iteration order cannot leak in);
+    * frozen dataclasses -> dicts of their fields;
+    * numpy scalars -> the equivalent python scalar;
+    * bool / int / float / str / None pass through.
+
+    Anything else is rejected loudly: a spec containing an object with
+    ambiguous identity (e.g. a lambda, an open file) cannot have a
+    stable content hash, and silently ``repr()``-ing it would make ids
+    depend on memory addresses.
+    """
+    if is_dataclass(value) and not isinstance(value, type):
+        return {f.name: canonical(getattr(value, f.name)) for f in fields(value)}
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise TypeError(f"spec dict keys must be str, got {key!r}")
+            out[key] = canonical(item)
+        return out
+    if isinstance(value, (list, tuple)):
+        return [canonical(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        items = [canonical(item) for item in value]
+        return sorted(items, key=lambda item: json.dumps(item, sort_keys=True))
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if hasattr(value, "item") and not isinstance(value, (int, float)):
+        # numpy scalar (np.int64, np.float64, ...): unbox before typing.
+        return canonical(value.item())
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise ValueError(f"non-finite float in spec: {value!r}")
+        return value
+    raise TypeError(f"unhashable spec value: {value!r} ({type(value).__name__})")
+
+
+def canonical_json(spec) -> str:
+    """The canonical serialization the digest is computed over."""
+    return json.dumps(
+        canonical(spec),
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+        allow_nan=False,
+    )
+
+
+def spec_digest(spec) -> str:
+    """Full SHA-256 hex digest of the canonicalized spec."""
+    return hashlib.sha256(canonical_json(spec).encode("utf-8")).hexdigest()
+
+
+def run_id(spec, length: int = RUN_ID_LENGTH) -> str:
+    """Truncated content hash used as the run's identifier."""
+    if not 8 <= length <= 64:
+        raise ValueError(f"run id length must be in [8, 64], got {length}")
+    return spec_digest(spec)[:length]

@@ -1,0 +1,194 @@
+"""Hashed reproduction bundles: per-artifact sha256 index + provenance.
+
+``scripts/reproduce_all.sh`` regenerates the paper's tables/figures and
+the ablation report into one output directory; this module seals that
+directory into a verifiable bundle:
+
+* ``bundle_manifest.json`` — provenance: git SHA, engine resolution,
+  python/numpy versions, file count and total bytes;
+* ``sha256_index.txt`` — one ``<sha256>  <relpath>`` line per artifact,
+  sorted by path, in ``sha256sum -c`` format, covering every file in
+  the bundle (including the manifest; the index never lists itself).
+
+``verify`` recomputes every digest and reports mismatches/missing/extra
+files — CI runs it on the freshly produced bundle, and anyone who
+downloads the artifact can run ``sha256sum -c sha256_index.txt``
+without this repo's code.
+
+CLI::
+
+    python -m repro.analysis.bundle index DIR     # seal a directory
+    python -m repro.analysis.bundle verify DIR    # check the seal
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+__all__ = [
+    "BUNDLE_SCHEMA",
+    "INDEX_NAME",
+    "MANIFEST_NAME",
+    "hash_tree",
+    "write_index",
+    "write_bundle_manifest",
+    "seal",
+    "verify",
+    "main",
+]
+
+BUNDLE_SCHEMA = 1
+INDEX_NAME = "sha256_index.txt"
+MANIFEST_NAME = "bundle_manifest.json"
+
+
+def _sha256_file(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def hash_tree(root: Path | str) -> list[tuple[str, str]]:
+    """``(relpath, sha256)`` for every file under ``root``, path-sorted.
+
+    The index file itself is excluded (it cannot contain its own hash);
+    everything else — including ``bundle_manifest.json`` — is covered.
+    """
+    root = Path(root)
+    entries = []
+    for path in sorted(root.rglob("*")):
+        if not path.is_file():
+            continue
+        rel = path.relative_to(root).as_posix()
+        if rel == INDEX_NAME:
+            continue
+        entries.append((rel, _sha256_file(path)))
+    return entries
+
+
+def write_index(root: Path | str) -> Path:
+    """Write ``sha256_index.txt`` in ``sha256sum -c`` format."""
+    root = Path(root)
+    lines = [f"{digest}  {rel}" for rel, digest in hash_tree(root)]
+    path = root / INDEX_NAME
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+def write_bundle_manifest(root: Path | str, extra: dict | None = None) -> Path:
+    """Write the provenance manifest (before indexing, so it is covered)."""
+    from repro import engines
+    from repro.observability.run import _git_sha
+
+    root = Path(root)
+    files = [
+        p for p in root.rglob("*")
+        if p.is_file() and p.name not in (INDEX_NAME, MANIFEST_NAME)
+    ]
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = None
+    payload = {
+        "bundle_schema": BUNDLE_SCHEMA,
+        "created": time.time(),
+        "git_sha": _git_sha(),
+        "engines": engines.status(),
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "platform": platform.platform(),
+        "files": len(files),
+        "total_bytes": sum(p.stat().st_size for p in files),
+    }
+    if extra:
+        payload.update(extra)
+    path = root / MANIFEST_NAME
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True, default=repr) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def seal(root: Path | str, extra: dict | None = None) -> Path:
+    """Manifest first, then the index that covers it."""
+    write_bundle_manifest(root, extra)
+    return write_index(root)
+
+
+def verify(root: Path | str) -> list[str]:
+    """Recheck the index; returns human-readable problem strings."""
+    root = Path(root)
+    index_path = root / INDEX_NAME
+    problems: list[str] = []
+    if not index_path.is_file():
+        return [f"missing {INDEX_NAME}"]
+    recorded: dict[str, str] = {}
+    for lineno, line in enumerate(
+        index_path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        try:
+            digest, rel = line.split(None, 1)
+        except ValueError:
+            problems.append(f"{INDEX_NAME}:{lineno}: unparseable line {line!r}")
+            continue
+        recorded[rel.strip()] = digest
+    present = {rel for rel, _ in hash_tree(root)}
+    for rel, digest in sorted(recorded.items()):
+        path = root / rel
+        if not path.is_file():
+            problems.append(f"missing file: {rel}")
+        elif _sha256_file(path) != digest:
+            problems.append(f"hash mismatch: {rel}")
+    for rel in sorted(present - set(recorded)):
+        problems.append(f"unindexed file: {rel}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.bundle",
+        description="Seal or verify a hashed reproduction bundle.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_index = sub.add_parser("index", help="write bundle manifest + sha256 index")
+    p_index.add_argument("directory")
+    p_verify = sub.add_parser("verify", help="recheck every digest in the index")
+    p_verify.add_argument("directory")
+    args = parser.parse_args(argv)
+
+    root = Path(args.directory)
+    if not root.is_dir():
+        print(f"error: {root} is not a directory", file=sys.stderr)
+        return 2
+    if args.command == "index":
+        path = seal(root)
+        count = sum(1 for _ in path.read_text().splitlines())
+        print(f"sealed {root}: {count} files indexed in {path.name}")
+        return 0
+    problems = verify(root)
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    count = sum(
+        1 for line in (root / INDEX_NAME).read_text().splitlines() if line.strip()
+    )
+    print(f"bundle OK: {count} artifacts verified")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -47,6 +47,7 @@ EXPERIMENTS = {
     "slicing": ablations.slicing_comparison,
     "ablation_degree_kind": ablations.degree_kind_sweep,
     "ablation_gorder_window": ablations.gorder_window_sweep,
+    "ablation_diameter": ablations.diameter_sweep,
     "extended_techniques": ablations.extended_techniques,
     "extension_apps": ablations.extension_apps,
 }
@@ -58,7 +59,7 @@ ALL_ORDER = [
     "fig10", "fig11", "table12", "gorder_dbg",
     "ablation_groups", "ablation_threshold", "ablation_cache_scale",
     "ablation_replacement", "slicing", "ablation_degree_kind", "ablation_gorder_window",
-    "extended_techniques", "extension_apps",
+    "ablation_diameter", "extended_techniques", "extension_apps",
 ]
 
 
@@ -165,12 +166,14 @@ def main(argv: list[str] | None = None) -> int:
     if args.workers > 1:
         from repro.apps.registry import APP_ORDER
         from repro.analysis.figures import MAIN_TECHNIQUES
-        from repro.graph.generators.datasets import DATASETS
+        from repro.graph.generators.datasets import NO_SKEW_DATASETS, SKEWED_DATASETS
 
         print(f"pre-warming main grid with {args.workers} workers ...")
         runner.run_grid(
             list(APP_ORDER),
-            list(DATASETS),
+            # The paper's Table IX/X grid only: auxiliary analogs (the
+            # diameter-axis pair) warm up in the sweeps that use them.
+            list(SKEWED_DATASETS) + list(NO_SKEW_DATASETS),
             ["Original"] + MAIN_TECHNIQUES,
             workers=args.workers,
         )

@@ -13,6 +13,7 @@ from repro.graph.generators.rmat import rmat_graph, uniform_graph
 from repro.graph.generators.powerlaw import powerlaw_degree_sequence, chung_lu_graph
 from repro.graph.generators.community import community_graph
 from repro.graph.generators.road import road_graph
+from repro.graph.generators.smallworld import smallworld_graph
 from repro.graph.generators.datasets import (
     DatasetSpec,
     DATASETS,
@@ -31,6 +32,7 @@ __all__ = [
     "chung_lu_graph",
     "community_graph",
     "road_graph",
+    "smallworld_graph",
     "DatasetSpec",
     "DATASETS",
     "SKEWED_DATASETS",

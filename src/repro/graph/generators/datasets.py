@@ -35,6 +35,7 @@ from repro.graph.csr import Graph
 from repro.graph.generators.community import community_graph
 from repro.graph.generators.rmat import rmat_graph, uniform_graph
 from repro.graph.generators.road import road_graph
+from repro.graph.generators.smallworld import smallworld_graph
 
 __all__ = [
     "DatasetSpec",
@@ -54,7 +55,7 @@ class DatasetSpec:
 
     name: str
     long_name: str
-    kind: str  # "rmat" | "community" | "uniform" | "road"
+    kind: str  # "rmat" | "community" | "uniform" | "road" | "smallworld"
     num_vertices: int  # at scale=1.0
     avg_degree: float
     structured: bool
@@ -83,6 +84,10 @@ class DatasetSpec:
             return uniform_graph(n, avg_degree=self.avg_degree, seed=self.seed)
         if self.kind == "road":
             return road_graph(
+                n, avg_degree=self.avg_degree, seed=self.seed, **self.params
+            )
+        if self.kind == "smallworld":
+            return smallworld_graph(
                 n, avg_degree=self.avg_degree, seed=self.seed, **self.params
             )
         raise ValueError(f"unknown dataset kind: {self.kind!r}")
@@ -241,6 +246,31 @@ _SPECS = [
         seed=20,
         paper_vertices=24_000_000,
         paper_edges=29_000_000,
+    ),
+    # -- diameter-axis analogs (Satav et al., arXiv:2111.12281) -------------
+    # Same generator, same degree skew, opposite ends of the diameter
+    # spectrum: the window fraction is the only knob that differs.  Not
+    # part of the paper's Table IX/X grid — used by the diameter
+    # ablation and the ``repro-ablate`` full suite.
+    DatasetSpec(
+        name="swl",
+        long_name="Small-world, low diameter (synthetic, skewed)",
+        kind="smallworld",
+        num_vertices=10_000,
+        avg_degree=12.0,
+        structured=False,
+        params={"window_frac": 0.5, "exponent": 1.7},
+        seed=29,
+    ),
+    DatasetSpec(
+        name="swh",
+        long_name="Small-world, high diameter (synthetic, skewed)",
+        kind="smallworld",
+        num_vertices=10_000,
+        avg_degree=12.0,
+        structured=True,
+        params={"window_frac": 0.005, "exponent": 1.7},
+        seed=29,
     ),
 ]
 

@@ -26,13 +26,16 @@ from repro.observability.metrics import (
 )
 from repro.observability.run import (
     MANIFEST_SCHEMA,
+    RECOMPUTE_STAGES,
     RunContext,
     current_run,
     default_runs_dir,
     iter_events,
     list_runs,
     load_manifest,
+    manifest_recompute_spans,
     new_run_id,
+    recompute_spans,
     stage_totals,
     start_run,
 )
@@ -41,6 +44,7 @@ from repro.observability.tracing import TRACER, Span, Tracer
 __all__ = [
     "MANIFEST_SCHEMA",
     "METRICS",
+    "RECOMPUTE_STAGES",
     "MetricsRegistry",
     "RunContext",
     "Span",
@@ -54,7 +58,9 @@ __all__ = [
     "iter_events",
     "list_runs",
     "load_manifest",
+    "manifest_recompute_spans",
     "new_run_id",
+    "recompute_spans",
     "stage_totals",
     "start_run",
 ]

@@ -34,6 +34,7 @@ from repro.observability.tracing import TRACER
 
 __all__ = [
     "MANIFEST_SCHEMA",
+    "RECOMPUTE_STAGES",
     "RunContext",
     "start_run",
     "current_run",
@@ -43,10 +44,17 @@ __all__ = [
     "iter_events",
     "list_runs",
     "stage_totals",
+    "recompute_spans",
+    "manifest_recompute_spans",
 ]
 
 #: Manifest format version (bumped when fields change incompatibly).
 MANIFEST_SCHEMA = 1
+
+#: Pipeline stages whose spans represent real recomputation.  A warm
+#: store replay must record zero of these; ``repro-status diff`` and the
+#: ablation harness both gate on this count.
+RECOMPUTE_STAGES = ("generate", "mapping", "relabel", "trace", "simulate", "model")
 
 #: Environment override for the runs root directory.
 RUNS_DIR_ENV = "REPRO_RUNS_DIR"
@@ -399,6 +407,28 @@ def list_runs(root: Path | str | None = None) -> list[Path]:
         key=lambda p: p.name,
         reverse=True,
     )
+
+
+def recompute_spans(stages: dict[str, dict]) -> int:
+    """Executed (non-cache-hit) pipeline-stage span count in a timings block.
+
+    ``stages`` is the ``timings.stages`` mapping of a manifest (or the
+    output of :func:`stage_totals`).  Zero means the run replayed
+    entirely from the artifact store.
+    """
+    return sum(
+        int(stages.get(name, {}).get("calls", 0)) for name in RECOMPUTE_STAGES
+    )
+
+
+def manifest_recompute_spans(run_dir: Path | str) -> int:
+    """Recompute-span count for a run directory (manifest or event stream)."""
+    manifest = load_manifest(run_dir)
+    if manifest is not None:
+        stages = (manifest.get("timings") or {}).get("stages") or {}
+    else:
+        stages = stage_totals(run_dir)
+    return recompute_spans(stages)
 
 
 def stage_totals(run_dir: Path | str) -> dict[str, dict]:

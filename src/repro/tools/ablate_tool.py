@@ -1,0 +1,213 @@
+"""``repro-ablate`` — enumerate, execute and rank component ablations.
+
+Subcommands::
+
+    repro-ablate enumerate [--suite smoke|full|golden] [--json]
+    repro-ablate run [--suite ...] [--smoke] [--store DIR] [--runs-dir DIR]
+                     [--workers N] [--report PATH] [--only NAME ...]
+    repro-ablate rank [--report PATH] [--timings] [--runs-dir DIR]
+    repro-ablate diff NAME [--report PATH]
+
+``run`` executes the suite baseline-first against one shared artifact
+store (exactly-once stage dedup across ablations), writes the
+byte-deterministic ``ablation_report.json`` and prints the ranking.
+Run ids are content hashes of the specs: re-running the same suite
+lands in the same ``runs/<run_id>/`` directories, and a warm store
+makes every store-backed run replay with zero recompute spans — the
+property CI gates on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+from repro import observability
+from repro.analysis.ablate import (
+    enumerate_runs,
+    execute_suite,
+    build_report,
+    load_report,
+    render_ranking,
+    suite_by_name,
+    write_report,
+)
+from repro.analysis.ablate.report import diff_vs_baseline
+from repro.analysis.ablate.spec import SUITES
+
+__all__ = ["main"]
+
+DEFAULT_REPORT = "ablation_report.json"
+
+
+def _add_suite_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--suite",
+        choices=sorted(SUITES),
+        default="smoke",
+        help="which shipped suite to use (default: smoke)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shorthand for --suite smoke (the CI tier)",
+    )
+
+
+def _resolve_suite(args):
+    if args.smoke:
+        return suite_by_name("smoke")
+    return suite_by_name(args.suite)
+
+
+def _cmd_enumerate(args) -> int:
+    suite = _resolve_suite(args)
+    runs = enumerate_runs(suite)
+    if args.json:
+        payload = [
+            {
+                "run_id": run.run_id,
+                "name": run.name,
+                "component": run.component,
+                "spec": run.spec,
+            }
+            for run in runs
+        ]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"suite {suite.name}: {len(runs)} runs "
+          f"({len(suite.apps)} apps x {len(suite.datasets)} datasets x "
+          f"{len(suite.techniques)} techniques baseline grid)")
+    for run in runs:
+        print(f"  {run.run_id}  {run.name:<22} {run.component}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    suite = _resolve_suite(args)
+    runs_root = (
+        Path(args.runs_dir) if args.runs_dir else observability.default_runs_dir()
+    )
+    outcomes = execute_suite(
+        suite,
+        store_dir=args.store,
+        runs_root=runs_root,
+        workers=args.workers,
+        only=args.only or None,
+    )
+    for outcome in outcomes:
+        primary = outcome.metrics.get("geomean_speedup_pct")
+        print(
+            f"  {outcome.run.run_id}  {outcome.run.name:<22} "
+            f"speedup={primary}  recompute_spans={outcome.recompute_spans}"
+        )
+    report = build_report(suite, outcomes)
+    path = write_report(report, args.report)
+    print(f"report written to {path}")
+    print()
+    print(render_ranking(report))
+    warm_replayable = [
+        o for o in outcomes
+        if not (o.run.ablation and o.run.ablation.ephemeral_store)
+    ]
+    total = sum(o.recompute_spans for o in warm_replayable)
+    print()
+    print(
+        f"recompute spans across store-backed runs: {total} "
+        f"({'warm replay' if total == 0 else 'cold execution'})"
+    )
+    return 0
+
+
+def _cmd_rank(args) -> int:
+    report = load_report(args.report)
+    timings = None
+    if args.timings:
+        runs_root = (
+            Path(args.runs_dir)
+            if args.runs_dir
+            else observability.default_runs_dir()
+        )
+        timings = {}
+        for entry in report["ablations"]:
+            manifest = observability.load_manifest(runs_root / entry["run_id"])
+            if manifest:
+                timings[entry["name"]] = (manifest.get("timings") or {}).get(
+                    "staged_seconds"
+                )
+    print(render_ranking(report, timings=timings))
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    report = load_report(args.report)
+    try:
+        diff = diff_vs_baseline(report, args.name)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    print(json.dumps(diff, indent=2, sort_keys=True))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-ablate",
+        description="Enumerate, execute and rank pipeline-component ablations.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_enum = sub.add_parser("enumerate", help="list a suite's runs and ids")
+    _add_suite_arg(p_enum)
+    p_enum.add_argument("--json", action="store_true", help="machine-readable")
+
+    p_run = sub.add_parser("run", help="execute a suite and write the report")
+    _add_suite_arg(p_run)
+    p_run.add_argument(
+        "--store", default=None,
+        help="artifact store directory (default: $REPRO_CACHE_DIR or ./.repro_cache)",
+    )
+    p_run.add_argument(
+        "--runs-dir", default=None,
+        help="runs root for the observed manifests (default: $REPRO_RUNS_DIR or ./runs)",
+    )
+    p_run.add_argument("--workers", type=int, default=None)
+    p_run.add_argument("--report", default=DEFAULT_REPORT)
+    p_run.add_argument(
+        "--only", action="append", default=None,
+        help="run only this ablation (repeatable; the baseline always runs)",
+    )
+
+    p_rank = sub.add_parser("rank", help="print the ranking from a report")
+    p_rank.add_argument("--report", default=DEFAULT_REPORT)
+    p_rank.add_argument(
+        "--timings", action="store_true",
+        help="join per-run staged seconds from the run manifests",
+    )
+    p_rank.add_argument("--runs-dir", default=None)
+
+    p_diff = sub.add_parser("diff", help="one ablation's metric diff vs baseline")
+    p_diff.add_argument("name", help="ablation name or run id")
+    p_diff.add_argument("--report", default=DEFAULT_REPORT)
+
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "enumerate":
+            return _cmd_enumerate(args)
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "rank":
+            return _cmd_rank(args)
+        return _cmd_diff(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed early; exit quietly like repro-status.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

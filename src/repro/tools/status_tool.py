@@ -34,7 +34,9 @@ __all__ = ["main"]
 
 #: Stages whose spans represent real recomputation (a warm store replay
 #: must show zero of these — the ``diff`` subcommand counts them).
-RECOMPUTE_STAGES = ("generate", "mapping", "relabel", "trace", "simulate", "model")
+#: Canonical definition lives in the observability layer; re-exported
+#: here for backwards compatibility with existing imports.
+RECOMPUTE_STAGES = runmod.RECOMPUTE_STAGES
 
 
 def _resolve_run(root: Path, run: str | None) -> Path | None:
@@ -190,11 +192,8 @@ def _cmd_events(run_dir: Path, stage: str | None, kind: str | None) -> int:
     return 0
 
 
-def _recompute_spans(stages: dict[str, dict]) -> int:
-    """Executed (non-cache-hit) pipeline-stage span count in a timings block."""
-    return sum(
-        int(stages.get(name, {}).get("calls", 0)) for name in RECOMPUTE_STAGES
-    )
+#: Executed (non-cache-hit) pipeline-stage span count in a timings block.
+_recompute_spans = runmod.recompute_spans
 
 
 def _cmd_diff(root: Path, run_a: str, run_b: str) -> int:

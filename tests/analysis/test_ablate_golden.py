@@ -1,0 +1,98 @@
+"""Golden importance-ranking fixture for the ``golden`` ablation suite.
+
+The committed ``golden/ablation_report.json`` freezes the component
+ranking (order AND metric deltas) of a tiny fixed grid.  The report is
+built only from content ids and simulated counters — wall timings are
+deliberately excluded — so two invocations must produce *byte-identical*
+files, and any kernel/model/spec change that moves the ranking shows up
+as a precise JSON diff.
+
+Regenerate deliberately with::
+
+    PYTHONPATH=src python -m pytest tests/analysis/test_ablate_golden.py --update-golden
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.ablate import build_report, execute_suite, write_report
+from repro.analysis.ablate.spec import golden_suite
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+FIXTURE = GOLDEN_DIR / "ablation_report.json"
+
+#: Same policy as the e2e golden cells: exact ints/strs, tolerant floats
+#: (the geomean crosses libm exp/log, so cross-platform bytes may differ
+#: in the last ulp even though a single machine is byte-stable).
+FLOAT_RTOL = 1e-9
+
+
+def assert_matches_golden(actual, golden, path="report"):
+    if isinstance(golden, dict):
+        assert isinstance(actual, dict), path
+        assert sorted(actual) == sorted(golden), path
+        for key in golden:
+            assert_matches_golden(actual[key], golden[key], f"{path}.{key}")
+    elif isinstance(golden, list):
+        assert isinstance(actual, list) and len(actual) == len(golden), path
+        for i, (a, g) in enumerate(zip(actual, golden)):
+            assert_matches_golden(a, g, f"{path}[{i}]")
+    elif isinstance(golden, bool) or isinstance(golden, str) or golden is None:
+        assert actual == golden, path
+    elif isinstance(golden, int):
+        assert actual == golden, (
+            f"{path}: exact value changed: {actual!r} != golden {golden!r}"
+        )
+    elif isinstance(golden, float):
+        assert actual == pytest.approx(golden, rel=FLOAT_RTOL), path
+    else:  # pragma: no cover - fixtures only contain the above
+        assert actual == golden, path
+
+
+@pytest.fixture(scope="module")
+def reports(tmp_path_factory):
+    """The golden suite executed twice against one store: cold then warm."""
+    root = tmp_path_factory.mktemp("golden-ablate")
+    suite = golden_suite()
+    paths = []
+    for label in ("cold", "warm"):
+        outcomes = execute_suite(
+            suite, store_dir=root / "store", runs_root=root / f"runs-{label}"
+        )
+        report = build_report(suite, outcomes)
+        paths.append(write_report(report, root / f"report-{label}.json"))
+    return paths
+
+
+def test_report_byte_stable_across_invocations(reports):
+    cold, warm = reports
+    assert cold.read_bytes() == warm.read_bytes()
+
+
+def test_report_matches_committed_fixture(reports, request):
+    actual = json.loads(reports[0].read_text())
+    if request.config.getoption("--update-golden"):
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        FIXTURE.write_bytes(reports[0].read_bytes())
+        pytest.skip(f"rewrote {FIXTURE.name}")
+    assert FIXTURE.exists(), (
+        f"missing golden fixture {FIXTURE.name}; run with --update-golden"
+    )
+    golden = json.loads(FIXTURE.read_text())
+    assert_matches_golden(actual, golden)
+
+
+def test_fixture_ranking_is_the_exact_component_order(reports, request):
+    """The *order* is the headline claim; pin it independently of deltas."""
+    if request.config.getoption("--update-golden"):
+        pytest.skip("fixture being rewritten")
+    golden = json.loads(FIXTURE.read_text())
+    actual = json.loads(reports[0].read_text())
+    assert actual["ranking"] == golden["ranking"]
+    assert [e["rank"] for e in actual["ablations"]] == list(
+        range(1, len(actual["ablations"]) + 1)
+    )

@@ -1,0 +1,152 @@
+"""Property suite for content-derived ablation run ids.
+
+The run id is the contract that makes ``repro-ablate`` reruns land in
+the same ``runs/<id>/`` directories and lets CI diff two invocations:
+it must depend only on the *content* of the spec — never on enumeration
+order, dict insertion order, or which process computed it — and
+distinct specs must not collide even at the truncated length.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.ablate import canonical, run_id, spec_digest, suite_by_name
+from repro.analysis.ablate.ids import RUN_ID_LENGTH, canonical_json
+from repro.analysis.ablate.spec import enumerate_runs
+
+# -- strategies ------------------------------------------------------------
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+)
+
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=10), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+spec_dicts = st.dictionaries(st.text(min_size=1, max_size=10), json_values, max_size=6)
+
+
+def shuffled_dict(d: dict, rng: np.random.Generator) -> dict:
+    """Same mapping, different insertion order."""
+    keys = list(d)
+    rng.shuffle(keys)
+    return {k: d[k] for k in keys}
+
+
+# -- canonicalization ------------------------------------------------------
+
+@given(spec=spec_dicts, seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=100, deadline=None)
+def test_run_id_invariant_under_key_order(spec, seed):
+    rng = np.random.default_rng(seed)
+    assert run_id(spec) == run_id(shuffled_dict(spec, rng))
+
+
+@given(spec=spec_dicts)
+@settings(max_examples=100, deadline=None)
+def test_canonical_json_is_valid_sorted_json(spec):
+    text = canonical_json(spec)
+    parsed = json.loads(text)
+    assert parsed == canonical(spec)
+    # Canonical form round-trips: hashing the parsed value changes nothing.
+    assert run_id(parsed) == run_id(spec)
+
+
+@given(specs=st.lists(spec_dicts, min_size=2, max_size=8))
+@settings(max_examples=100, deadline=None)
+def test_distinct_specs_never_collide_on_truncated_hash(specs):
+    by_canonical = {canonical_json(s): run_id(s) for s in specs}
+    ids = list(by_canonical.values())
+    assert len(set(ids)) == len(ids)
+    assert all(len(i) == RUN_ID_LENGTH for i in ids)
+    assert all(spec_digest(s).startswith(run_id(s)) for s in specs)
+
+
+def test_containers_normalize_to_the_same_id():
+    assert run_id({"a": (1, 2), "b": {3, 1, 2}}) == run_id({"b": [1, 2, 3], "a": [1, 2]})
+    assert run_id({"x": np.int64(7)}) == run_id({"x": 7})
+    assert run_id({"x": np.float64(0.5)}) == run_id({"x": 0.5})
+
+
+def test_dataclasses_hash_as_their_field_dicts():
+    @dataclasses.dataclass
+    class Point:
+        x: int
+        y: int
+
+    assert run_id(Point(1, 2)) == run_id({"x": 1, "y": 2})
+
+
+def test_rejects_unhashable_content():
+    with pytest.raises(ValueError):
+        run_id({"x": float("nan")})
+    with pytest.raises(ValueError):
+        run_id({"x": float("inf")})
+    with pytest.raises(TypeError):
+        run_id({"x": object()})
+    with pytest.raises(TypeError):
+        run_id({1: "non-string key"})
+    with pytest.raises(ValueError):
+        run_id({}, length=4)  # truncation floor
+
+
+# -- enumeration-order and process independence ----------------------------
+
+def test_suite_ids_independent_of_enumeration_order():
+    suite = suite_by_name("smoke")
+    runs = enumerate_runs(suite)
+    reordered = dataclasses.replace(suite, ablations=tuple(reversed(suite.ablations)))
+    ids = {r.name: r.run_id for r in runs}
+    ids_reordered = {r.name: r.run_id for r in enumerate_runs(reordered)}
+    assert ids == ids_reordered
+    assert len(set(ids.values())) == len(ids)  # no two runs share an id
+
+
+def test_run_ids_stable_across_process_restarts():
+    suite = suite_by_name("smoke")
+    expected = [(r.name, r.run_id) for r in enumerate_runs(suite)]
+    script = (
+        "import json\n"
+        "from repro.analysis.ablate import suite_by_name\n"
+        "from repro.analysis.ablate.spec import enumerate_runs\n"
+        "runs = enumerate_runs(suite_by_name('smoke'))\n"
+        "print(json.dumps([[r.name, r.run_id] for r in runs]))\n"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        check=True,
+        env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin", "PYTHONHASHSEED": "random"},
+        cwd=str(__import__("pathlib").Path(__file__).resolve().parents[2]),
+    )
+    fresh = [tuple(pair) for pair in json.loads(out.stdout)]
+    assert fresh == expected
+
+
+def test_shipped_suite_ids_are_frozen():
+    """Anchor the shipped suites' baseline ids: changing a default grid or
+    knob silently re-keys every archived run directory — make that loud."""
+    smoke = {r.name: r.run_id for r in enumerate_runs(suite_by_name("smoke"))}
+    golden = {r.name: r.run_id for r in enumerate_runs(suite_by_name("golden"))}
+    assert smoke["baseline"] == "78a365cb0aec6901"
+    assert golden["baseline"] == "11a253405ce387b8"

@@ -1,0 +1,92 @@
+"""Hashed reproduction bundles: sealing, verification, tamper detection."""
+
+import json
+import shutil
+import subprocess
+
+import pytest
+
+from repro.analysis.bundle import (
+    INDEX_NAME,
+    MANIFEST_NAME,
+    hash_tree,
+    main as bundle_main,
+    seal,
+    verify,
+)
+
+
+@pytest.fixture
+def bundle(tmp_path):
+    root = tmp_path / "bundle"
+    (root / "sub").mkdir(parents=True)
+    (root / "report.md").write_text("# results\n")
+    (root / "ablation_report.json").write_text('{"ranking": []}\n')
+    (root / "sub" / "manifest.json").write_text("{}\n")
+    seal(root)
+    return root
+
+
+class TestSeal:
+    def test_index_covers_everything_but_itself(self, bundle):
+        indexed = {rel for rel, _ in hash_tree(bundle)}
+        assert MANIFEST_NAME in indexed
+        assert INDEX_NAME not in indexed
+        assert "sub/manifest.json" in indexed
+
+    def test_index_is_sha256sum_compatible(self, bundle):
+        for line in (bundle / INDEX_NAME).read_text().splitlines():
+            digest, sep, rel = line.partition("  ")
+            assert sep and len(digest) == 64 and rel
+        if shutil.which("sha256sum"):
+            proc = subprocess.run(
+                ["sha256sum", "-c", INDEX_NAME],
+                cwd=bundle, capture_output=True, text=True,
+            )
+            assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_manifest_records_provenance(self, bundle):
+        manifest = json.loads((bundle / MANIFEST_NAME).read_text())
+        assert manifest["bundle_schema"] == 1
+        assert manifest["files"] == 3  # payload files, not the seal itself
+        assert "engines" in manifest and "python" in manifest
+
+    def test_fresh_bundle_verifies(self, bundle):
+        assert verify(bundle) == []
+
+
+class TestVerify:
+    def test_detects_modified_artifact(self, bundle):
+        (bundle / "report.md").write_text("# tampered\n")
+        problems = verify(bundle)
+        assert any("hash mismatch: report.md" in p for p in problems)
+
+    def test_detects_missing_artifact(self, bundle):
+        (bundle / "sub" / "manifest.json").unlink()
+        assert any("missing file: sub/manifest.json" in p for p in verify(bundle))
+
+    def test_detects_unindexed_extra_file(self, bundle):
+        (bundle / "smuggled.txt").write_text("x")
+        assert any("unindexed file: smuggled.txt" in p for p in verify(bundle))
+
+    def test_missing_index_reported(self, tmp_path):
+        assert verify(tmp_path) == [f"missing {INDEX_NAME}"]
+
+
+class TestCli:
+    def test_index_then_verify_roundtrip(self, tmp_path, capsys):
+        root = tmp_path / "b"
+        root.mkdir()
+        (root / "a.txt").write_text("hello")
+        assert bundle_main(["index", str(root)]) == 0
+        assert bundle_main(["verify", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "sealed" in out and "bundle OK" in out
+
+    def test_verify_failure_is_nonzero(self, bundle, capsys):
+        (bundle / "report.md").write_text("tampered")
+        assert bundle_main(["verify", str(bundle)]) == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_missing_directory_rejected(self, tmp_path):
+        assert bundle_main(["index", str(tmp_path / "nope")]) == 2

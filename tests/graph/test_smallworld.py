@@ -1,0 +1,88 @@
+"""Small-world generator: the diameter knob and what it must NOT change."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import smallworld_graph
+from repro.graph.generators.datasets import load_dataset
+from repro.graph.properties import approximate_diameter, skew_summary
+
+
+class TestGenerator:
+    def test_basic_shape(self):
+        g = smallworld_graph(1000, avg_degree=8.0, seed=1)
+        assert g.num_vertices == 1000
+        assert 0.5 * 8.0 * 1000 < g.num_edges < 1.5 * 8.0 * 1000
+
+    def test_window_bounds_edge_span(self):
+        n = 2000
+        g = smallworld_graph(n, window_frac=0.01, seed=2)
+        src, dst = g.edge_array()
+        span = np.abs(((dst - src + n // 2) % n) - n // 2)
+        assert span.max() <= max(1, round(0.01 * n / 2))
+
+    def test_deterministic(self):
+        a = smallworld_graph(500, seed=7)
+        b = smallworld_graph(500, seed=7)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            smallworld_graph(2)
+        with pytest.raises(ValueError):
+            smallworld_graph(100, window_frac=0.0)
+        with pytest.raises(ValueError):
+            smallworld_graph(100, window_frac=1.5)
+
+
+class TestDiameterAxis:
+    """The swl/swh analogs isolate diameter: same skew, opposite diameter."""
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        return load_dataset("swl"), load_dataset("swh")
+
+    def test_diameter_ordering_on_10k_analog(self, pair):
+        low, high = pair
+        d_low = approximate_diameter(low, samples=4)
+        d_high = approximate_diameter(high, samples=4)
+        assert d_low < 10
+        assert d_high > 50
+        assert d_high > 10 * d_low
+
+    def test_degree_skew_is_diameter_independent(self, pair):
+        low, high = pair
+        skew_low = skew_summary(low)
+        skew_high = skew_summary(high)
+        # Identical seed + degree sequence: the knob moves endpoints only.
+        assert skew_low.hot_vertex_pct_out == pytest.approx(
+            skew_high.hot_vertex_pct_out, rel=0.05
+        )
+        assert skew_low.edge_coverage_pct_out == pytest.approx(
+            skew_high.edge_coverage_pct_out, rel=0.05
+        )
+
+    def test_same_size_and_degree_mass(self, pair):
+        low, high = pair
+        assert low.num_vertices == high.num_vertices == 10_000
+        assert low.num_edges == high.num_edges
+
+
+class TestApproximateDiameter:
+    def test_path_graph_diameter_exact_enough(self):
+        from repro.graph import from_edges
+
+        n = 200
+        edges = np.array([(v, v + 1) for v in range(n - 1)])
+        g = from_edges(n, edges)
+        # Sampled eccentricity is a lower bound; from any root the
+        # farthest endpoint is at least half the path away.
+        assert approximate_diameter(g, samples=8) >= n // 2
+
+    def test_isolated_vertices_do_not_crash(self):
+        from repro.graph import from_edges
+
+        g = from_edges(10, np.array([(0, 1)]))
+        # Sampled roots may be isolated (eccentricity 0); the estimate is
+        # still a valid lower bound and must not crash on empty frontiers.
+        assert approximate_diameter(g, samples=3) >= 0
